@@ -1,0 +1,111 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* tree vs mesh s-networks -- Section 3.2.2 argues trees eliminate
+  duplicate flood deliveries ("a tree structure guarantees that each
+  peer receives the query message exactly once");
+* linear vs finger ring forwarding -- the simulation's linear mode vs
+  the Chord-style acceleration the analysis assumes;
+* Gnutella-style vs BitTorrent-style s-networks (Section 5.5);
+* bypass links on/off under a repeating lookup pattern (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from repro.core import HybridConfig, HybridSystem
+from repro.workloads import KeyWorkload
+
+from .conftest import bench_scale, emit
+
+
+def _run(config: HybridConfig, scale, repeat_lookups: int = 1):
+    system = HybridSystem(config, n_peers=scale.n_peers, seed=scale.seed)
+    system.build()
+    addresses = [p.address for p in system.alive_peers()]
+    workload = KeyWorkload.uniform(scale.n_keys, addresses, system.rngs.stream("workload"))
+    system.populate(workload.store_plan())
+    pairs = workload.sample_lookups(scale.n_lookups, addresses)
+    for _ in range(repeat_lookups):
+        system.run_lookups(pairs, wave_size=scale.wave_size)
+    return system.query_stats()
+
+
+def test_ablation_tree_vs_mesh(benchmark):
+    scale = bench_scale(seed=31)
+    tree_cfg = HybridConfig(p_s=0.8, ttl=8)
+    mesh_cfg = tree_cfg.with_changes(mesh_extra_links=2)
+
+    def run_both():
+        return _run(tree_cfg, scale), _run(mesh_cfg, scale)
+
+    tree, mesh = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(
+        "ablation_tree_vs_mesh",
+        "Ablation -- tree vs mesh s-networks\n"
+        f"tree: duplicates={tree.duplicate_contacts} connum={tree.connum} "
+        f"fail={tree.failure_ratio:.3f}\n"
+        f"mesh: duplicates={mesh.duplicate_contacts} connum={mesh.connum} "
+        f"fail={mesh.failure_ratio:.3f}",
+    )
+    # The paper's bandwidth claim: trees deliver each query exactly once.
+    assert tree.duplicate_contacts == 0
+    assert mesh.duplicate_contacts > 0
+
+
+def test_ablation_ring_routing(benchmark):
+    scale = bench_scale(seed=32)
+    linear = HybridConfig(p_s=0.3, ring_routing="linear")
+    finger = HybridConfig(p_s=0.3, ring_routing="finger")
+
+    def run_both():
+        return _run(linear, scale), _run(finger, scale)
+
+    lin, fin = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(
+        "ablation_ring_routing",
+        "Ablation -- linear vs finger ring forwarding (p_s = 0.3)\n"
+        f"linear: connum={lin.connum} latency={lin.mean_latency:.0f} ms\n"
+        f"finger: connum={fin.connum} latency={fin.mean_latency:.0f} ms",
+    )
+    assert fin.failure_ratio == lin.failure_ratio == 0.0
+    assert fin.connum < lin.connum
+    assert fin.mean_latency < lin.mean_latency
+
+
+def test_ablation_bittorrent_snetworks(benchmark):
+    scale = bench_scale(seed=33)
+    gnutella = HybridConfig(p_s=0.8, ttl=6)
+    bittorrent = gnutella.with_changes(snetwork_style="bittorrent")
+
+    def run_both():
+        return _run(gnutella, scale), _run(bittorrent, scale)
+
+    gnu, bt = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(
+        "ablation_bittorrent",
+        "Ablation -- Gnutella-style vs BitTorrent-style s-networks (p_s = 0.8)\n"
+        f"gnutella:   connum={gnu.connum} fail={gnu.failure_ratio:.3f}\n"
+        f"bittorrent: connum={bt.connum} fail={bt.failure_ratio:.3f}",
+    )
+    # "no flooding is needed": tracker resolution contacts far fewer peers.
+    assert bt.failure_ratio == 0.0
+    assert bt.connum < gnu.connum
+
+
+def test_ablation_bypass_links(benchmark):
+    scale = bench_scale(seed=34)
+    off = HybridConfig(p_s=0.85, ttl=8)
+    on = off.with_changes(bypass_links=True, bypass_lifetime=1e9)
+
+    def run_both():
+        return _run(off, scale, repeat_lookups=3), _run(on, scale, repeat_lookups=3)
+
+    base, bypassed = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(
+        "ablation_bypass",
+        "Ablation -- bypass links under a repeating lookup pattern (p_s = 0.85)\n"
+        f"off: connum={base.connum} latency={base.mean_latency:.0f} ms\n"
+        f"on:  connum={bypassed.connum} latency={bypassed.mean_latency:.0f} ms",
+    )
+    assert bypassed.failure_ratio == 0.0
+    # Shortcuts divert repeats off the ring.
+    assert bypassed.connum < base.connum

@@ -1,0 +1,195 @@
+"""Benchmarks for the extension features beyond the paper's figures.
+
+* **caching** (the paper's stated future work, Section 7): hot-key load
+  spreading -- "distribute the load among as many peers as possible so
+  that no peer is overwhelmed";
+* **random walks vs flooding** (Section 1 names both primitives);
+* **maintenance cost vs p_s** (the Section 3.1 claim the paper argues
+  but never plots).
+"""
+
+from __future__ import annotations
+
+from repro.core import HybridConfig, HybridSystem
+from repro.experiments import (
+    ext_churn,
+    ext_comparison,
+    ext_maintenance,
+    ext_replication,
+    ext_stress,
+)
+
+from .conftest import bench_scale, emit
+
+
+def _hot_key_system(cache: bool, scale, seed: int = 15) -> HybridSystem:
+    config = HybridConfig(p_s=0.7, ttl=8, cache_enabled=cache)
+    system = HybridSystem(config, n_peers=scale.n_peers, seed=seed)
+    system.build()
+    peers = [p.address for p in system.alive_peers()]
+    items = [(peers[i % len(peers)], f"bg{i}", i) for i in range(scale.n_keys // 2)]
+    items.append((peers[0], "hot", "hot-value"))
+    system.populate(items)
+    pairs = []
+    for _ in range(4):
+        pairs.extend((addr, "hot") for addr in peers)
+    system.run_lookups(pairs, wave_size=50)
+    return system
+
+
+def test_ext_caching_load_balance(benchmark):
+    scale = bench_scale(seed=15)
+
+    def run_both():
+        return _hot_key_system(False, scale), _hot_key_system(True, scale)
+
+    plain, cached = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    plain_max = max(p.answers_served for p in plain.alive_peers())
+    cached_max = max(p.answers_served for p in cached.alive_peers())
+    cached_servers = sum(1 for p in cached.alive_peers() if p.answers_served > 0)
+    plain_servers = sum(1 for p in plain.alive_peers() if p.answers_served > 0)
+    emit(
+        "ext_caching",
+        "Extension -- hot-key caching (paper's future work)\n"
+        f"no cache: hottest peer answered {plain_max} queries "
+        f"({plain_servers} peers served anything)\n"
+        f"cache:    hottest peer answered {cached_max} queries "
+        f"({cached_servers} peers served anything)\n"
+        f"connum: {plain.query_stats().connum} -> {cached.query_stats().connum}",
+    )
+    assert cached.query_stats().failure_ratio == 0.0
+    assert cached_max < plain_max  # no peer overwhelmed
+    assert cached_servers >= plain_servers  # load spread over surrogates
+    assert cached.query_stats().connum < plain.query_stats().connum
+
+
+def test_ext_walk_vs_flood(benchmark):
+    scale = bench_scale(seed=16)
+
+    def run(mode: str, **kw):
+        config = HybridConfig(
+            p_s=0.9, ttl=8, search_mode=mode, lookup_timeout=10_000.0, **kw
+        )
+        system = HybridSystem(config, n_peers=scale.n_peers, seed=scale.seed)
+        system.build()
+        peers = [p.address for p in system.alive_peers()]
+        system.populate(
+            [(peers[i % len(peers)], f"k{i}", i) for i in range(scale.n_keys)]
+        )
+        system.run_lookups(
+            [
+                (peers[(i * 7) % len(peers)], f"k{i}")
+                for i in range(scale.n_lookups)
+            ]
+        )
+        return system.query_stats()
+
+    def run_all():
+        return (
+            run("flood"),
+            run("walk", walkers=1, walk_ttl=5),
+            run("walk", walkers=4, walk_ttl=12),
+        )
+
+    flood, lean_walk, rich_walk = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "ext_walks",
+        "Extension -- flooding vs random walks (p_s = 0.9)\n"
+        f"flood (ttl=8):          connum={flood.connum:6d} fail={flood.failure_ratio:.3f}\n"
+        f"walk (1 walker, ttl 5): connum={lean_walk.connum:6d} fail={lean_walk.failure_ratio:.3f}\n"
+        f"walk (4 walkers, ttl 12): connum={rich_walk.connum:6d} fail={rich_walk.failure_ratio:.3f}",
+    )
+    # Lean walks bound the budget below the flood's cost; rich walks buy
+    # the success probability back with more traffic.
+    assert lean_walk.connum < flood.connum
+    assert rich_walk.failure_ratio <= lean_walk.failure_ratio
+
+
+def test_ext_maintenance_cost(benchmark):
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        lambda: ext_maintenance.run(
+            n_peers=scale.n_peers, churn_events=30, seed=scale.seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "ext_maintenance",
+        ext_maintenance.main(n_peers=scale.n_peers, churn_events=30),
+    )
+    # Section 3.1's claim: the hybrid design slashes maintenance.  The
+    # pure-structured endpoint is by far the most expensive; cost falls
+    # steeply as peers move into s-networks.
+    per_event = {ps: cell.per_event for ps, cell in result.items()}
+    assert per_event[0.0] > 2 * per_event[0.6]
+    assert min(per_event, key=per_event.get) >= 0.4  # optimum at mid/high p_s
+
+
+def test_ext_architecture_comparison(benchmark):
+    scale = bench_scale()
+    scores = benchmark.pedantic(
+        lambda: ext_comparison.run(
+            n_peers=scale.n_peers, n_keys=scale.n_keys,
+            n_lookups=scale.n_lookups, seed=scale.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ext_comparison", ext_comparison.main(n_peers=scale.n_peers, seed=scale.seed))
+    chord = next(s for n, s in scores.items() if n == "chord")
+    gnutella = next(s for n, s in scores.items() if n.startswith("gnutella"))
+    hybrid = next(s for n, s in scores.items() if n.startswith("hybrid"))
+    # The paper's thesis, quantified: the hybrid matches structured
+    # accuracy, floods a fraction of Gnutella's contacts, and maintains
+    # itself at a fraction of Chord's cost.
+    assert hybrid.failure_ratio <= 0.02
+    assert hybrid.contacts_per_lookup < 0.25 * gnutella.contacts_per_lookup
+    assert hybrid.maintenance_per_event < 0.25 * chord.maintenance_per_event
+
+
+def test_ext_link_stress(benchmark):
+    scale = bench_scale()
+    cells = benchmark.pedantic(
+        lambda: ext_stress.run(
+            n_peers=scale.n_peers, n_keys=scale.n_keys,
+            n_lookups=scale.n_lookups, seed=scale.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ext_stress", ext_stress.main(n_peers=scale.n_peers))
+    # Section 5.2's motivation: binning relieves the backbone where
+    # s-networks carry real membership (p_s >= 0.7).
+    for p_s in (0.7, 0.9):
+        base = cells[(p_s, "base")].summary
+        binned = cells[(p_s, "binned")].summary
+        assert binned.total_transmissions < base.total_transmissions
+
+
+def test_ext_sustained_churn(benchmark):
+    cells = benchmark.pedantic(
+        lambda: ext_churn.run(n_peers=60, n_keys=180, n_lookups=180),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ext_churn", ext_churn.main(n_peers=60))
+    lifetimes = sorted(cells)  # ascending lifetime = descending churn
+    # Harsher churn (shorter lifetimes) loses more data.
+    assert cells[lifetimes[0]].failure_ratio >= cells[lifetimes[-1]].failure_ratio
+    # Even the harshest cell keeps serving the surviving majority.
+    assert cells[lifetimes[0]].failure_ratio < 0.5
+
+
+def test_ext_replication(benchmark):
+    cells = benchmark.pedantic(
+        lambda: ext_replication.run(
+            n_peers=80, n_keys=240, n_lookups=240,
+            factors=(1, 2), fractions=(0.2,),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ext_replication", ext_replication.main(n_peers=80))
+    # One extra copy turns ~f loss into a small residue.
+    assert cells[(2, 0.2)].failure_ratio < 0.5 * cells[(1, 0.2)].failure_ratio

@@ -1,0 +1,37 @@
+"""Benchmark + reproduction of Fig. 3a / 3b (Section 4 closed forms).
+
+Regenerates both analytical panels at the paper's parameters
+(N = 1000, delta in {2,3,4,5}) and checks the shapes the paper reads
+off them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig3_analysis
+
+from .conftest import emit
+
+
+def test_fig3a_join_latency(benchmark):
+    result = benchmark(lambda: fig3_analysis.run(n_peers=1000, points=99))
+    emit("fig3", fig3_analysis.main(points=11))
+    # U-shape with the paper's optimum band and delta ordering.
+    for delta in (2, 3, 4, 5):
+        ps_star, hops_star = result.join[delta].argmin()
+        assert 0.6 <= ps_star <= 0.9
+        assert hops_star < result.join[delta].hops[0]  # beats pure structured
+    assert result.join[5].argmin()[1] <= result.join[2].argmin()[1]
+
+
+def test_fig3b_lookup_latency(benchmark):
+    result = benchmark(lambda: fig3_analysis.run(n_peers=1000, points=99))
+    # Flat and delta-independent below p_s = 0.5.
+    low = [c.hops[c.p_s < 0.5] for c in result.lookup.values()]
+    for a, b in zip(low, low[1:]):
+        assert np.allclose(a, b)
+    # Decreasing, and delta = 5 at or below delta = 2 everywhere.
+    for c in result.lookup.values():
+        assert c.hops[0] >= c.hops[-1]
+    assert (result.lookup[5].hops <= result.lookup[2].hops + 1e-9).all()

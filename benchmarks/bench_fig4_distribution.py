@@ -1,0 +1,37 @@
+"""Benchmark + reproduction of Fig. 4 (data placement PDFs).
+
+Runs both placement schemes at p_s in {0, 0.4, 0.9} and checks the
+paper's observations: scheme 1 piles data on t-peers at high p_s,
+scheme 2 flattens the distribution, the schemes coincide at p_s = 0.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4_distribution
+
+from .conftest import bench_scale, emit
+
+
+def test_fig4_placement_distributions(benchmark):
+    scale = bench_scale(seed=2)
+    cells = benchmark.pedantic(
+        lambda: fig4_distribution.run(scale), rounds=1, iterations=1
+    )
+    emit("fig4", fig4_distribution.main(scale))
+
+    direct_hi = cells[("direct", 0.9)].summary
+    spread_hi = cells[("spread", 0.9)].summary
+    # Scheme 1 concentrates at high p_s; scheme 2 flattens (Fig. 4c vs 4f).
+    assert direct_hi.gini > spread_hi.gini
+    assert direct_hi.max > spread_hi.max
+    assert direct_hi.fraction_zero > spread_hi.fraction_zero
+    # Conservation across schemes.
+    assert direct_hi.total_items == spread_hi.total_items
+    # "when p_s is small, the two schemes can distribute the data items
+    # evenly among the peers" -- identical at p_s = 0.
+    assert cells[("direct", 0.0)].summary.gini == cells[("spread", 0.0)].summary.gini
+    # Imbalance grows with p_s under scheme 1 (Fig. 4a -> 4c).
+    assert (
+        cells[("direct", 0.9)].summary.gini
+        > cells[("direct", 0.0)].summary.gini
+    )

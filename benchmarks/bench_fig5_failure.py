@@ -1,0 +1,68 @@
+"""Benchmark + reproduction of Fig. 5a / 5b (lookup failure ratio).
+
+5a: failure ratio vs p_s for TTL in {1, 2, 4} -- ~0 below p_s = 0.5,
+rising with p_s, falling with TTL.
+
+5b: failure ratio vs crash fraction for several p_s -- linear in the
+crash fraction, ~flat in p_s (scheme-2 placement spreads the loss).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig5_failure
+
+from .conftest import bench_scale, emit
+
+PS_5A = (0.0, 0.3, 0.5, 0.7, 0.9)
+FRACTIONS = (0.0, 0.1, 0.2, 0.3)
+PS_5B = (0.3, 0.6, 0.9)
+
+
+def test_fig5a_failure_vs_ttl(benchmark):
+    scale = bench_scale(seed=3)
+    result = benchmark.pedantic(
+        lambda: fig5_failure.run_5a(scale, ps_values=PS_5A),
+        rounds=1,
+        iterations=1,
+    )
+    rows = "\n".join(
+        f"p_s={ps:.1f}: "
+        + "  ".join(f"TTL={t}: {result.failure(t, ps):.3f}" for t in (1, 2, 4))
+        for ps in PS_5A
+    )
+    emit("fig5a", f"Fig. 5a -- lookup failure ratio ({scale.n_peers} peers)\n{rows}")
+
+    # Structured-grade accuracy below p_s = 0.5 for every TTL.
+    for ttl in (1, 2, 4):
+        for ps in (0.0, 0.3):
+            assert result.failure(ttl, ps) < 0.02
+    # Rising in p_s at TTL = 1; TTL = 4 dominates TTL = 1 at high p_s.
+    assert result.failure(1, 0.9) > result.failure(1, 0.5)
+    assert result.failure(4, 0.9) <= result.failure(1, 0.9)
+    assert result.failure(4, 0.9) < 0.15  # "4 percent if TTL = 4" band
+
+
+def test_fig5b_failure_vs_crash(benchmark):
+    scale = bench_scale(seed=4)
+    result = benchmark.pedantic(
+        lambda: fig5_failure.run_5b(scale, fractions=FRACTIONS, ps_values=PS_5B),
+        rounds=1,
+        iterations=1,
+    )
+    rows = "\n".join(
+        f"crash={fr:.2f}: "
+        + "  ".join(f"p_s={ps:.1f}: {result.failure(ps, fr):.3f}" for ps in PS_5B)
+        for fr in FRACTIONS
+    )
+    emit("fig5b", f"Fig. 5b -- failure ratio under crash ({scale.n_peers} peers)\n{rows}")
+
+    for ps in PS_5B:
+        # ~Linear in the crash fraction: failure tracks the loss.
+        assert result.failure(ps, 0.0) < 0.03
+        assert result.failure(ps, 0.3) > result.failure(ps, 0.1)
+        assert abs(result.failure(ps, 0.2) - 0.2) < 0.12
+    # ~Flat in p_s at a fixed crash fraction.
+    at_02 = [result.failure(ps, 0.2) for ps in PS_5B]
+    assert max(at_02) - min(at_02) < 0.15

@@ -1,0 +1,58 @@
+"""Benchmark + reproduction of Fig. 6a / 6b (lookup latency and the
+Section 5 enhancements).
+
+6a: latency vs p_s with and without link-heterogeneity consideration.
+6b: latency vs p_s, basic vs landmark binning (8 / 12 landmarks).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_latency
+
+from .conftest import bench_scale, emit
+
+PS = (0.0, 0.4, 0.7, 0.9)
+
+
+def test_fig6a_link_heterogeneity(benchmark):
+    scale = bench_scale(seed=21)
+    result = benchmark.pedantic(
+        lambda: fig6_latency.run_6a(scale, ps_values=PS), rounds=1, iterations=1
+    )
+    rows = "\n".join(
+        f"p_s={ps:.1f}: base={result.latency('base', ps):7.0f} ms   "
+        f"hetero={result.latency('hetero', ps):7.0f} ms"
+        for ps in PS
+    )
+    emit("fig6a", f"Fig. 6a -- mean lookup latency ({scale.n_peers} peers)\n{rows}")
+
+    # Latency decreases in p_s (fewer ring hops).
+    assert result.latency("base", 0.9) < result.latency("base", 0.0)
+    # Heterogeneity awareness helps in the paper's sweet spot
+    # (p_s in [0.4, 0.8]; ~20% at 0.7 in the paper).
+    assert result.latency("hetero", 0.7) < result.latency("base", 0.7)
+    assert result.latency("hetero", 0.4) < result.latency("base", 0.4)
+
+
+def test_fig6b_topology_awareness(benchmark):
+    scale = bench_scale(seed=17)
+    result = benchmark.pedantic(
+        lambda: fig6_latency.run_6b(scale, ps_values=PS), rounds=1, iterations=1
+    )
+    rows = "\n".join(
+        f"p_s={ps:.1f}: base={result.latency('base', ps):7.0f} ms   "
+        f"8lm={result.latency('bin8', ps):7.0f} ms   "
+        f"12lm={result.latency('bin12', ps):7.0f} ms"
+        for ps in PS
+    )
+    emit("fig6b", f"Fig. 6b -- mean lookup latency ({scale.n_peers} peers)\n{rows}")
+
+    # Binning helps once s-network legs carry weight (mid-to-high p_s).
+    base_mid = result.latency("base", 0.7) + result.latency("base", 0.9)
+    bin_mid = result.latency("bin8", 0.7) + result.latency("bin8", 0.9)
+    assert bin_mid < base_mid
+    # At p_s = 0 there are no s-networks to cluster: curves coincide
+    # within noise (same protocol path).
+    assert abs(result.latency("bin8", 0.0) - result.latency("base", 0.0)) < (
+        0.25 * result.latency("base", 0.0)
+    )

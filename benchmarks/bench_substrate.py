@@ -1,0 +1,53 @@
+"""Micro-benchmarks of the substrates the system is built on.
+
+Not paper figures -- these watch the cost centers that dominate the
+reproduction's wall-clock (event engine throughput, topology + routing
+precomputation, system build) so regressions are caught next to the
+experiment benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HybridConfig, HybridSystem
+from repro.net import Router, TransitStubConfig, config_for_size, generate_transit_stub
+from repro.sim import Engine
+
+
+def test_engine_event_throughput(benchmark):
+    def run_10k_events():
+        engine = Engine()
+
+        def chain(n):
+            if n > 0:
+                engine.call_later(1.0, chain, n - 1)
+
+        for _ in range(10):
+            engine.call_later(0.0, chain, 1000)
+        engine.run()
+        return engine.events_executed
+
+    executed = benchmark(run_10k_events)
+    assert executed >= 10_000
+
+
+def test_topology_and_routing_precompute(benchmark):
+    rng = np.random.default_rng(7)
+
+    def build():
+        topo = generate_transit_stub(config_for_size(500), rng)
+        return Router(topo)
+
+    router = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert router.n >= 500
+
+
+def test_system_build_200_peers(benchmark):
+    def build():
+        system = HybridSystem(HybridConfig(p_s=0.7), n_peers=200, seed=1)
+        system.build()
+        return system
+
+    system = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(system.alive_peers()) == 200

@@ -1,0 +1,32 @@
+"""Benchmark + reproduction of Table 2 (total connum vs p_s x TTL).
+
+Shapes checked (Section 6.3): connum falls ~linearly in p_s, the
+p_s = 0.9 column is a small fraction of the structured endpoint, and
+the TTL only inflates connum at high p_s.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2_connum
+
+from .conftest import bench_scale, emit
+
+PS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9)
+
+
+def test_table2_connum(benchmark):
+    scale = bench_scale(seed=5)
+    result = benchmark.pedantic(
+        lambda: table2_connum.run(scale, ps_values=PS), rounds=1, iterations=1
+    )
+    emit("table2", table2_connum.main(scale, ps_values=PS))
+
+    # Monotone decreasing in p_s at every TTL.
+    for ttl in (1, 2, 4):
+        series = [result.connum(ps, ttl) for ps in PS]
+        assert all(a > b for a, b in zip(series, series[1:])), series
+    # The paper's 10x headline: p_s = 0.9 is a small fraction of p_s = 0.
+    assert result.connum(0.9, 4) < 0.35 * result.connum(0.0, 4)
+    # TTL is irrelevant at p_s = 0 and only grows connum at high p_s.
+    assert result.connum(0.0, 1) == result.connum(0.0, 4)
+    assert result.connum(0.9, 4) >= result.connum(0.9, 1)

@@ -1,0 +1,44 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures at
+``Scale.quick()`` (override with ``REPRO_BENCH_SCALE=medium|paper``),
+prints the rows/series the paper reports, and archives them under
+``benchmarks/out/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import Scale
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_scale(seed: int = 0) -> Scale:
+    """The workload size benchmarks run at (env-selectable)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    factory = {
+        "quick": Scale.quick,
+        "medium": Scale.medium,
+        "paper": Scale.paper,
+    }.get(name)
+    if factory is None:
+        raise ValueError(f"unknown REPRO_BENCH_SCALE={name!r}")
+    return factory(seed=seed)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table/figure and archive it."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def scale() -> Scale:
+    return bench_scale()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Run every reproduction experiment and save the tables.
+
+Usage:  python scripts/run_experiments.py [quick|medium|paper] [outdir]
+
+``medium`` (default) takes minutes on a laptop; ``paper`` matches the
+paper's 1,000-peer scale and takes correspondingly longer.  Outputs are
+written to <outdir>/<experiment>.txt and echoed to stdout; EXPERIMENTS.md
+quotes these files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    Scale,
+    fig3_analysis,
+    fig4_distribution,
+    fig5_failure,
+    fig6_latency,
+    table2_connum,
+)
+
+
+def main() -> None:
+    scale_name = sys.argv[1] if len(sys.argv) > 1 else "medium"
+    outdir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "results")
+    outdir.mkdir(exist_ok=True)
+    scale = {"quick": Scale.quick, "medium": Scale.medium, "paper": Scale.paper}[
+        scale_name
+    ]()
+    jobs = [
+        ("fig3", lambda: fig3_analysis.main(points=11)),
+        ("fig4", lambda: fig4_distribution.main(scale)),
+        ("fig5", lambda: fig5_failure.main(scale)),
+        ("fig6", lambda: fig6_latency.main(scale)),
+        ("table2", lambda: table2_connum.main(scale)),
+    ]
+    for name, job in jobs:
+        t0 = time.time()
+        text = job()
+        elapsed = time.time() - t0
+        stamped = f"{text}\n\n[scale={scale_name}, {elapsed:.1f}s]"
+        (outdir / f"{name}.txt").write_text(stamped + "\n")
+        print(stamped)
+        print("=" * 70, flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: this environment lacks the `wheel` package, which the
+PEP 517 editable path needs; `pip install -e . --no-use-pep517` falls
+back to `setup.py develop` via this file."""
+from setuptools import setup
+
+setup()

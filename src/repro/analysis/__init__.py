@@ -1,0 +1,32 @@
+"""Section 4 performance analysis, in closed form.
+
+:mod:`~repro.analysis.formulas` implements equations (1)-(2) and the
+lookup-latency expressions; :mod:`~repro.analysis.curves` sweeps them
+into the series of Fig. 3a / 3b.
+"""
+
+from .curves import AnalyticCurve, fig3a_join_latency, fig3b_lookup_latency
+from .formulas import (
+    failure_ratio_model,
+    join_latency,
+    local_hit_probability,
+    lookup_latency,
+    mean_snetwork_size,
+    out_of_range_peers,
+    speer_join_hops,
+    tpeer_join_hops,
+)
+
+__all__ = [
+    "AnalyticCurve",
+    "fig3a_join_latency",
+    "fig3b_lookup_latency",
+    "failure_ratio_model",
+    "join_latency",
+    "local_hit_probability",
+    "lookup_latency",
+    "mean_snetwork_size",
+    "out_of_range_peers",
+    "speer_join_hops",
+    "tpeer_join_hops",
+]

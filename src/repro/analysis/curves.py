@@ -1,0 +1,73 @@
+"""Series generators for the analytical figures (Fig. 3a / 3b).
+
+Each function sweeps ``p_s`` across (0, 1) for several degree caps δ
+and returns the arrays the paper plots, ready for a table printer or a
+plotting library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .formulas import join_latency, lookup_latency
+
+__all__ = ["AnalyticCurve", "fig3a_join_latency", "fig3b_lookup_latency"]
+
+
+@dataclass(frozen=True)
+class AnalyticCurve:
+    """One curve: x = p_s values, y = modelled hop counts, label = delta."""
+
+    delta: int
+    p_s: np.ndarray
+    hops: np.ndarray
+
+    def argmin(self) -> Tuple[float, float]:
+        """(p_s, hops) at the curve's minimum -- the optimal mix."""
+        i = int(np.nanargmin(self.hops))
+        return float(self.p_s[i]), float(self.hops[i])
+
+
+def _ps_grid(points: int) -> np.ndarray:
+    # Open interval: the formulas blow up at exactly 0 and 1.
+    return np.linspace(0.01, 0.99, points)
+
+
+def fig3a_join_latency(
+    n_peers: int = 1000,
+    deltas: Sequence[int] = (2, 3, 4, 5),
+    points: int = 99,
+) -> Dict[int, AnalyticCurve]:
+    """Fig. 3a: average join latency vs p_s for several deltas.
+
+    Expected shape: U-shaped with the minimum around p_s 0.7-0.8,
+    lower for larger delta.
+    """
+    grid = _ps_grid(points)
+    curves = {}
+    for delta in deltas:
+        hops = np.array([join_latency(ps, n_peers, delta) for ps in grid])
+        curves[delta] = AnalyticCurve(delta=delta, p_s=grid, hops=hops)
+    return curves
+
+
+def fig3b_lookup_latency(
+    n_peers: int = 1000,
+    ttl: int = 4,
+    deltas: Sequence[int] = (2, 3, 4, 5),
+    points: int = 99,
+) -> Dict[int, AnalyticCurve]:
+    """Fig. 3b: average lookup latency vs p_s for several deltas.
+
+    Expected shape: flat/equal across deltas for p_s < 0.5 (lookups
+    dominated by the ring), then diverging with larger delta cheaper.
+    """
+    grid = _ps_grid(points)
+    curves = {}
+    for delta in deltas:
+        hops = np.array([lookup_latency(ps, n_peers, ttl, delta) for ps in grid])
+        curves[delta] = AnalyticCurve(delta=delta, p_s=grid, hops=hops)
+    return curves

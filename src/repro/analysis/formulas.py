@@ -1,0 +1,171 @@
+"""Closed-form performance models from Section 4.
+
+Every expression of the paper's analysis, implemented verbatim (with
+the domain-edge clamps the figures imply -- hop counts cannot go
+negative, and the pure-endpoint cases ``p_s = 0`` / ``p_s = 1`` zero
+out the term of the role that does not exist):
+
+* average join latency, eq. (1)                     -> :func:`join_latency`
+* out-of-flood-range peer count, eq. (2)            -> :func:`out_of_range_peers`
+* probability of a local hit ``p = p_s / (N(1-p_s))`` -> :func:`local_hit_probability`
+* average lookup latency, with/without degree cap   -> :func:`lookup_latency`
+
+Latency here is measured in overlay hops, exactly as in the paper
+("we use the number of hops the join request passes to estimate the
+join latency").
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "mean_snetwork_size",
+    "local_hit_probability",
+    "tpeer_join_hops",
+    "speer_join_hops",
+    "join_latency",
+    "out_of_range_peers",
+    "failure_ratio_model",
+    "lookup_latency",
+]
+
+
+def _check(p_s: float, n_peers: int) -> None:
+    if not (0.0 <= p_s <= 1.0):
+        raise ValueError(f"p_s must be in [0, 1], got {p_s}")
+    if n_peers < 1:
+        raise ValueError(f"n_peers must be >= 1, got {n_peers}")
+
+
+def mean_snetwork_size(p_s: float) -> float:
+    """Average number of s-peers per s-network: ``p_s / (1 - p_s)``.
+
+    (Section 4.1: s-peers are distributed evenly over the
+    ``(1 - p_s) N`` s-networks.)  Diverges as ``p_s -> 1``.
+    """
+    if p_s >= 1.0:
+        return math.inf
+    return p_s / (1.0 - p_s)
+
+
+def local_hit_probability(p_s: float, n_peers: int) -> float:
+    """``p = p_s / (N (1 - p_s))``: chance the wanted item is local."""
+    _check(p_s, n_peers)
+    if p_s >= 1.0:
+        return 1.0
+    return min(1.0, p_s / (n_peers * (1.0 - p_s)))
+
+
+def tpeer_join_hops(p_s: float, n_peers: int) -> float:
+    """Join hops for a t-peer: ``log((1 - p_s) N / 2)`` (finger-assisted).
+
+    Clamped at zero when the ring is so small the log goes negative.
+    """
+    _check(p_s, n_peers)
+    ring = (1.0 - p_s) * n_peers / 2.0
+    if ring <= 1.0:
+        return 0.0
+    return math.log2(ring)
+
+
+def speer_join_hops(p_s: float, delta: int) -> float:
+    """Join hops for an s-peer: ``log_delta(p_s / (1 - p_s))``.
+
+    The walk descends the tree from root to a non-full node, i.e. the
+    average tree height.  Clamped at zero for s-networks of size <= 1.
+    """
+    if delta < 2:
+        # A degree-1 "tree" is a chain; height equals size.
+        return mean_snetwork_size(p_s)
+    size = mean_snetwork_size(p_s)
+    if size <= 1.0:
+        return 0.0
+    return math.log(size, delta)
+
+
+def join_latency(p_s: float, n_peers: int, delta: int) -> float:
+    """Equation (1): the role-weighted average join hop count.
+
+    ``(1-p_s) log((1-p_s)N/2) + p_s log_delta(p_s/(1-p_s))``
+    """
+    _check(p_s, n_peers)
+    t_term = (1.0 - p_s) * tpeer_join_hops(p_s, n_peers)
+    if p_s >= 1.0:
+        return float("inf") if delta < 2 else p_s * speer_join_hops(1.0 - 1e-12, delta)
+    s_term = p_s * speer_join_hops(p_s, delta)
+    return t_term + s_term
+
+
+def out_of_range_peers(p_s: float, delta: int, ttl: int) -> float:
+    """Equation (2): average peers beyond a TTL flood's reach.
+
+    Midpoint of the t-peer-initiated and leaf-initiated counts:
+
+    ``p_s/(1-p_s) - (delta^(ttl+1)(delta-1) + delta^(2+ttl/2)
+      - (delta-1) ttl/2) / (2 (delta-1)^2)``
+    """
+    if delta < 2:
+        raise ValueError("equation (2) requires delta >= 2")
+    if ttl < 1:
+        raise ValueError("ttl must be >= 1")
+    size = mean_snetwork_size(p_s)
+    if not math.isfinite(size):
+        return math.inf
+    reach = (
+        delta ** (ttl + 1) * (delta - 1)
+        + delta ** (2 + ttl / 2.0)
+        - (delta - 1) * ttl / 2.0
+    ) / (2.0 * (delta - 1) ** 2)
+    return max(0.0, size - reach)
+
+
+def failure_ratio_model(p_s: float, delta: int, ttl: int) -> float:
+    """Model lookup failure ratio: out-of-range peers / s-network size.
+
+    The paper states the qualitative conclusion of eq. (2) ("the lookup
+    failure ratio increases if p_s increases while it decreases when
+    ttl increases"); normalising the out-of-range count by the network
+    size turns it into a ratio comparable with Fig. 5a.
+    """
+    size = mean_snetwork_size(p_s)
+    if size <= 0.0:
+        return 0.0
+    if not math.isfinite(size):
+        return 1.0
+    missed = out_of_range_peers(p_s, delta, ttl)
+    return min(1.0, missed / size)
+
+
+def lookup_latency(
+    p_s: float,
+    n_peers: int,
+    ttl: int,
+    delta: int | None = None,
+) -> float:
+    """Average lookup hop count (Section 4.2).
+
+    Without the degree constraint (``delta is None``; star s-networks of
+    diameter 2):
+
+    ``p * 2 + (1 - p) * (2 + log((1-p_s)N/2))``
+
+    With the degree constraint ``delta``:
+
+    ``p * ttl + (1-p) * (max(0, 0.5 log_delta(p_s/(1-p_s)))
+      + ttl + log((1-p_s)N/2))``
+    """
+    _check(p_s, n_peers)
+    p = local_hit_probability(p_s, n_peers)
+    ring = tpeer_join_hops(p_s, n_peers)  # log((1-p_s)N/2), clamped
+    if delta is None:
+        return p * 2.0 + (1.0 - p) * (2.0 + ring)
+    if delta < 2:
+        raise ValueError("degree-constrained latency requires delta >= 2")
+    size = mean_snetwork_size(p_s)
+    climb = 0.0
+    if math.isfinite(size) and size > 1.0:
+        climb = max(0.0, 0.5 * math.log(size, delta))
+    elif not math.isfinite(size):
+        climb = float("inf")
+    return p * ttl + (1.0 - p) * (climb + ttl + ring)

@@ -1,0 +1,19 @@
+"""Baseline comparators.
+
+A standalone Chord implementation (:mod:`~repro.baselines.chord`) and a
+standalone Gnutella-style flooding network
+(:mod:`~repro.baselines.gnutella`) -- the two "pure" designs the hybrid
+system interpolates between (its ``p_s = 0`` and ``p_s = 1`` limits).
+"""
+
+from .chord import ChordNetwork, ChordNode, LookupResult
+from .gnutella import FloodResult, GnutellaNetwork, GnutellaPeer
+
+__all__ = [
+    "ChordNetwork",
+    "ChordNode",
+    "LookupResult",
+    "FloodResult",
+    "GnutellaNetwork",
+    "GnutellaPeer",
+]

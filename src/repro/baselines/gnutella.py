@@ -1,0 +1,198 @@
+"""Standalone Gnutella-style baseline [ref 13].
+
+A decentralized unstructured overlay: peers join by linking to a few
+random existing peers (no topology constraint), data lives wherever its
+creator put it, and lookups are TTL-bounded floods with duplicate
+suppression.  This is the ``p_s = 1`` end of the paper's spectrum, kept
+as an independent implementation for comparison and cross-validation.
+
+Like the Chord baseline this is a hop-level synchronous simulation:
+``lookup`` runs the flood breadth-first and reports success, the number
+of peers contacted (the paper's *connum* ingredient), duplicate
+deliveries (the tree-vs-mesh bandwidth argument of Section 3.2.2) and
+the latency along the discovery path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
+
+import numpy as np
+
+from ..net.routing import Router
+
+__all__ = ["GnutellaPeer", "GnutellaNetwork", "FloodResult"]
+
+
+@dataclass(frozen=True)
+class FloodResult:
+    """Outcome of one flooded lookup."""
+
+    found: bool
+    holder: int  # peer id that answered (-1 on failure)
+    contacts: int  # distinct peers that received the query
+    duplicates: int  # redundant deliveries over mesh cross-links
+    latency: float  # along the path that reached the holder
+    hops: int
+
+
+class GnutellaPeer:
+    """One unstructured peer: a neighbor set and a database."""
+
+    def __init__(self, peer_id: int, host: int) -> None:
+        self.peer_id = peer_id
+        self.host = host
+        self.neighbors: Set[int] = set()
+        self.data: Dict[str, Any] = {}
+        self.alive = True
+
+
+class GnutellaNetwork:
+    """A random-mesh unstructured overlay.
+
+    Parameters
+    ----------
+    rng:
+        Randomness for neighbor selection.
+    links_per_join:
+        How many random existing peers a newcomer links to (Gnutella's
+        loose rule-of-thumb fan-out).
+    router / hosts:
+        Optional physical latency model, as in the Chord baseline.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        links_per_join: int = 3,
+        router: Optional[Router] = None,
+        hosts: Optional[List[int]] = None,
+    ) -> None:
+        if links_per_join < 1:
+            raise ValueError("links_per_join must be >= 1")
+        self.rng = rng
+        self.links_per_join = links_per_join
+        self.router = router
+        self._hosts = list(hosts) if hosts is not None else None
+        self.peers: Dict[int, GnutellaPeer] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def _hop_latency(self, a: GnutellaPeer, b: GnutellaPeer) -> float:
+        if self.router is None or a.host == b.host:
+            return 1.0
+        return self.router.latency(a.host, b.host)
+
+    def _alive(self) -> List[GnutellaPeer]:
+        return [p for p in self.peers.values() if p.alive]
+
+    def __len__(self) -> int:
+        return len(self._alive())
+
+    # ------------------------------------------------------------------
+    # Membership: "peers joining the network following some loose rules"
+    # ------------------------------------------------------------------
+    def join(self, host: Optional[int] = None) -> GnutellaPeer:
+        peer_id = self._next_id
+        self._next_id += 1
+        if host is None:
+            host = self._hosts[peer_id % len(self._hosts)] if self._hosts else peer_id
+        peer = GnutellaPeer(peer_id, host)
+        alive = self._alive()
+        self.peers[peer_id] = peer
+        if alive:
+            k = min(self.links_per_join, len(alive))
+            picks = self.rng.choice(len(alive), size=k, replace=False)
+            for i in picks:
+                other = alive[int(i)]
+                peer.neighbors.add(other.peer_id)
+                other.neighbors.add(peer_id)
+        return peer
+
+    def leave(self, peer_id: int) -> None:
+        """Graceful leave: neighbors drop the link (data leaves with it)."""
+        peer = self.peers[peer_id]
+        peer.alive = False
+        for n in peer.neighbors:
+            other = self.peers.get(n)
+            if other is not None:
+                other.neighbors.discard(peer_id)
+        peer.neighbors.clear()
+
+    def crash(self, peer_id: int) -> None:
+        """Abrupt failure: links dangle (floods just skip dead peers)."""
+        self.peers[peer_id].alive = False
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def store(self, origin_id: int, key: str, value: Any) -> None:
+        """Unstructured placement: data stays with its creator."""
+        self.peers[origin_id].data[key] = value
+
+    def lookup(self, origin_id: int, key: str, ttl: int) -> FloodResult:
+        """Breadth-first TTL flood from ``origin_id``.
+
+        Stops expanding past a peer that has the item (it answers
+        directly), mirroring the hybrid system's flood; counts every
+        distinct contact and every duplicate delivery.
+        """
+        if ttl < 0:
+            raise ValueError("ttl must be >= 0")
+        origin = self.peers[origin_id]
+        if not origin.alive:
+            raise ValueError(f"origin {origin_id} is not alive")
+        if key in origin.data:
+            return FloodResult(True, origin_id, 0, 0, 0.0, 0)
+        seen: Set[int] = {origin_id}
+        duplicates = 0
+        contacts = 0
+        best: Optional[FloodResult] = None
+        frontier = deque([(origin_id, 0, 0.0)])  # (peer, depth, latency)
+        while frontier:
+            pid, depth, latency = frontier.popleft()
+            if depth >= ttl:
+                continue
+            peer = self.peers[pid]
+            for n in sorted(peer.neighbors):
+                other = self.peers.get(n)
+                if other is None or not other.alive:
+                    continue
+                hop_lat = latency + self._hop_latency(peer, other)
+                if n in seen:
+                    duplicates += 1
+                    continue
+                seen.add(n)
+                contacts += 1
+                if key in other.data:
+                    candidate = FloodResult(
+                        True, n, contacts, duplicates, hop_lat, depth + 1
+                    )
+                    if best is None or candidate.latency < best.latency:
+                        best = candidate
+                    continue  # holder stops forwarding
+                frontier.append((n, depth + 1, hop_lat))
+        if best is not None:
+            # Contacts/duplicates keep accumulating after the hit --
+            # flood packets already in flight are not recalled.
+            return FloodResult(True, best.holder, contacts, duplicates, best.latency, best.hops)
+        return FloodResult(False, -1, contacts, duplicates, 0.0, 0)
+
+    # ------------------------------------------------------------------
+    def reachable_within(self, origin_id: int, ttl: int) -> int:
+        """How many peers a TTL flood from ``origin_id`` can reach."""
+        seen = {origin_id}
+        frontier = deque([(origin_id, 0)])
+        while frontier:
+            pid, depth = frontier.popleft()
+            if depth >= ttl:
+                continue
+            for n in self.peers[pid].neighbors:
+                other = self.peers.get(n)
+                if other is None or not other.alive or n in seen:
+                    continue
+                seen.add(n)
+                frontier.append((n, depth + 1))
+        return len(seen) - 1

@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+`python -m repro <command>` (or the `repro` console script):
+
+* ``repro demo`` -- build a system, run a workload, print the metrics;
+* ``repro experiment <name>`` -- regenerate one paper table/figure
+  (fig3, fig4, fig5, fig6, table2, maintenance) at a chosen scale;
+* ``repro sweep`` -- sweep p_s over a grid and print the metric trio
+  (latency / failure ratio / connum) per point;
+* ``repro analyze`` -- print the Section 4 closed-form tables.
+
+Every command takes ``--seed``; runs are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import HybridConfig, HybridSystem
+from .experiments import Scale
+from .metrics import format_table
+from .workloads import KeyWorkload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'An Efficient Hybrid Peer-to-Peer System for "
+            "Distributed Data Sharing' (Yang & Yang)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="build a system and run a workload")
+    demo.add_argument("--peers", type=int, default=200)
+    demo.add_argument("--ps", type=float, default=0.7, help="fraction of s-peers")
+    demo.add_argument("--delta", type=int, default=3)
+    demo.add_argument("--ttl", type=int, default=4)
+    demo.add_argument("--keys", type=int, default=600)
+    demo.add_argument("--lookups", type=int, default=600)
+    demo.add_argument("--zipf", type=float, default=0.0)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--placement", choices=["direct", "spread"], default="spread")
+    demo.add_argument("--bittorrent", action="store_true")
+    demo.add_argument("--cache", action="store_true")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument(
+        "name",
+        choices=[
+            "fig3", "fig4", "fig5", "fig6", "table2",
+            "maintenance", "comparison", "stress", "churn", "replication",
+        ],
+    )
+    exp.add_argument("--scale", choices=["quick", "medium", "paper"], default="quick")
+    exp.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="sweep p_s and print the metric trio")
+    sweep.add_argument("--peers", type=int, default=120)
+    sweep.add_argument("--keys", type=int, default=360)
+    sweep.add_argument("--lookups", type=int, default=360)
+    sweep.add_argument("--ttl", type=int, default=4)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--grid",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.2, 0.4, 0.6, 0.8, 0.9],
+    )
+
+    analyze = sub.add_parser("analyze", help="print the Section 4 closed forms")
+    analyze.add_argument("--peers", type=int, default=1000)
+    analyze.add_argument("--points", type=int, default=11)
+
+    return parser
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    config = HybridConfig(
+        p_s=args.ps,
+        delta=args.delta,
+        ttl=args.ttl,
+        placement=args.placement,
+        snetwork_style="bittorrent" if args.bittorrent else "gnutella",
+        cache_enabled=args.cache,
+    )
+    system = HybridSystem(config, n_peers=args.peers, seed=args.seed)
+    system.build()
+    peers = [p.address for p in system.alive_peers()]
+    workload = KeyWorkload.uniform(
+        args.keys, peers, system.rngs.stream("cli"), zipf_s=args.zipf
+    )
+    system.populate(workload.store_plan())
+    system.run_lookups(workload.sample_lookups(args.lookups, peers))
+    stats = system.query_stats()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["peers (t / s)", f"{len(system.t_peers())} / {len(system.s_peers())}"],
+                ["items stored", system.total_items()],
+                ["lookups", stats.total],
+                ["failure ratio", f"{stats.failure_ratio:.4f}"],
+                ["mean latency (ms)", f"{stats.mean_latency:.1f}"],
+                ["median latency (ms)", f"{stats.median_latency:.1f}"],
+                ["connum", stats.connum],
+                ["local lookups", f"{stats.local_fraction:.1%}"],
+            ],
+            title=f"hybrid P2P demo (p_s={args.ps}, seed={args.seed})",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = {"quick": Scale.quick, "medium": Scale.medium, "paper": Scale.paper}[
+        args.scale
+    ](seed=args.seed)
+    if args.name == "fig3":
+        from .experiments import fig3_analysis
+
+        print(fig3_analysis.main(points=11))
+    elif args.name == "fig4":
+        from .experiments import fig4_distribution
+
+        print(fig4_distribution.main(scale))
+    elif args.name == "fig5":
+        from .experiments import fig5_failure
+
+        print(fig5_failure.main(scale))
+    elif args.name == "fig6":
+        from .experiments import fig6_latency
+
+        print(fig6_latency.main(scale))
+    elif args.name == "table2":
+        from .experiments import table2_connum
+
+        print(table2_connum.main(scale))
+    elif args.name == "maintenance":
+        from .experiments import ext_maintenance
+
+        print(ext_maintenance.main(n_peers=scale.n_peers))
+    elif args.name == "comparison":
+        from .experiments import ext_comparison
+
+        print(ext_comparison.main(n_peers=scale.n_peers, seed=args.seed))
+    elif args.name == "stress":
+        from .experiments import ext_stress
+
+        print(ext_stress.main(n_peers=scale.n_peers))
+    elif args.name == "churn":
+        from .experiments import ext_churn
+
+        print(ext_churn.main(n_peers=min(scale.n_peers, 100)))
+    else:
+        from .experiments import ext_replication
+
+        print(ext_replication.main(n_peers=min(scale.n_peers, 120)))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    for p_s in args.grid:
+        config = HybridConfig(p_s=p_s, ttl=args.ttl)
+        system = HybridSystem(config, n_peers=args.peers, seed=args.seed)
+        system.build()
+        peers = [p.address for p in system.alive_peers()]
+        workload = KeyWorkload.uniform(args.keys, peers, system.rngs.stream("cli"))
+        system.populate(workload.store_plan())
+        system.run_lookups(workload.sample_lookups(args.lookups, peers))
+        stats = system.query_stats()
+        rows.append(
+            [
+                f"{p_s:.1f}",
+                f"{stats.mean_latency:.0f}",
+                f"{stats.failure_ratio:.3f}",
+                stats.connum,
+            ]
+        )
+    print(
+        format_table(
+            ["p_s", "latency (ms)", "failure", "connum"],
+            rows,
+            title=f"p_s sweep (N={args.peers}, TTL={args.ttl})",
+        )
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .experiments import fig3_analysis
+
+    print(fig3_analysis.main(n_peers=args.peers, points=args.points))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "demo": _cmd_demo,
+        "experiment": _cmd_experiment,
+        "sweep": _cmd_sweep,
+        "analyze": _cmd_analyze,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Configuration of the hybrid peer-to-peer system.
+
+:class:`HybridConfig` gathers every tunable the paper defines or
+implies.  The two headline knobs are ``p_s`` (fraction of s-peers,
+Section 3.1) and ``ttl`` (flood radius); ``delta`` is the tree degree
+cap of Section 3.2.2 (δ = 3 in the paper's simulations).
+
+Placement, connect-point policy, ring routing and the Section 5
+enhancements are all selected here so experiments can A/B them without
+touching protocol code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = [
+    "HybridConfig",
+    "SEARCH_FLOOD",
+    "SEARCH_WALK",
+    "PLACEMENT_DIRECT",
+    "PLACEMENT_SPREAD",
+    "ROUTING_LINEAR",
+    "ROUTING_FINGER",
+    "CONNECT_STAR",
+    "CONNECT_DEGREE",
+    "CONNECT_LINK_USAGE",
+    "ASSIGN_BALANCED",
+    "ASSIGN_RANDOM",
+    "ASSIGN_INTEREST",
+    "ASSIGN_BINNED",
+    "SNETWORK_GNUTELLA",
+    "SNETWORK_BITTORRENT",
+]
+
+# s-network search modes (Section 1: "use flooding or random walks to
+# look up data items").
+SEARCH_FLOOD = "flood"
+SEARCH_WALK = "walk"
+
+# Data placement schemes (Section 3.4).
+PLACEMENT_DIRECT = "direct"  # scheme 1: owning t-peer stores the item
+PLACEMENT_SPREAD = "spread"  # scheme 2: random spreading to s-peers
+
+# Ring forwarding.  The paper's simulation forwards linearly ("the
+# number of hops ... is proportional to the total number of t-peers",
+# Section 6.3); finger-table routing is the Chord-style acceleration the
+# analysis in Section 4 assumes for joins.
+ROUTING_LINEAR = "linear"
+ROUTING_FINGER = "finger"
+
+# Connect-point selection for s-peer joins (Sections 3.2.2, 5.1).
+CONNECT_STAR = "star"  # every s-peer hangs directly off the t-peer
+CONNECT_DEGREE = "degree"  # random branch walk until degree < delta
+CONNECT_LINK_USAGE = "link_usage"  # degree walk gated by degree/capacity
+
+# s-network assignment policies at the server (Sections 3.2.2, 5.2, 5.3).
+ASSIGN_BALANCED = "balanced"  # smallest s-network first
+ASSIGN_RANDOM = "random"
+ASSIGN_INTEREST = "interest"  # Section 5.3
+ASSIGN_BINNED = "binned"  # Section 5.2 landmark binning
+
+# s-network style (Sections 3.1, 5.5).
+SNETWORK_GNUTELLA = "gnutella"
+SNETWORK_BITTORRENT = "bittorrent"
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """All tunables of the hybrid system.
+
+    Frozen so a config can safely be shared between the system, the
+    server and every peer; derive variants with :meth:`with_changes`.
+    """
+
+    # --- headline system parameters (Sections 3.1, 6) -----------------
+    p_s: float = 0.5
+    delta: int = 3
+    ttl: int = 4
+
+    # --- identifier space ---------------------------------------------
+    id_bits: int = 32
+    pid_strategy: str = "random"  # "random" | "hash" (of address)
+
+    # --- data plane ----------------------------------------------------
+    placement: str = PLACEMENT_SPREAD
+    ring_routing: str = ROUTING_LINEAR
+    # How queries traverse an s-network: TTL flood (the paper's default)
+    # or k independent random walks.
+    search_mode: str = SEARCH_FLOOD
+    walkers: int = 4  # concurrent random walkers per query
+    walk_ttl: int = 16  # hop budget per walker
+    lookup_timeout: float = 60_000.0  # ms
+    # On timeout, retry with a grown TTL this many times (Section 3.4:
+    # "may choose to increase the TTL value ... and reflood").
+    max_refloods: int = 0
+    reflood_ttl_step: int = 2
+
+    # --- s-network construction ----------------------------------------
+    connect_policy: str = CONNECT_DEGREE
+    assignment: str = ASSIGN_BALANCED
+    snetwork_style: str = SNETWORK_GNUTELLA
+    # Ablation: number of extra non-tree links per s-peer (0 = pure tree,
+    # the paper's design; >0 approximates a Gnutella mesh).
+    mesh_extra_links: int = 0
+
+    # --- liveness / crash detection (Section 3.2.2) ----------------------
+    heartbeats_enabled: bool = False
+    hello_period: float = 1_000.0  # ms
+    neighbor_timeout: float = 3_500.0  # ms
+    ack_suppress: float = 500.0  # ms
+    # How long the server waits for an s-peer to report a crashed t-peer
+    # before falling back to plain ring excision.
+    election_grace: float = 3_000.0  # ms
+    # s-peers retry (re)join walks that got swallowed by a crashed peer.
+    join_retry_timeout: float = 5_000.0  # ms
+
+    # --- Section 5 enhancements -----------------------------------------
+    heterogeneity_aware: bool = False  # 5.1: fast peers become t-peers
+    # 5.1: degree/capacity gate for connect points.  Calibrated to the
+    # default CapacityModel units (LOW = 0.05): 40 lets a LOW-capacity
+    # peer take ~1 extra child while HIGH-capacity peers fill the whole
+    # delta budget.
+    link_usage_threshold: float = 40.0
+    n_landmarks: int = 0  # 5.2: 0 disables binning
+    # 5.3: width (in bits) of per-category key bands; 0 = uniform hashing.
+    # Interest-based workloads need > 0 so one category maps to one segment.
+    interest_band_bits: int = 0
+    bypass_links: bool = False  # 5.4
+    bypass_lifetime: float = 120_000.0  # ms before an idle bypass expires
+    # Replication factor for stored items (extension): 1 reproduces the
+    # paper (single copy; crashes lose data, Fig. 5b), k > 1 keeps the
+    # owner t-peer's copy plus k-1 spread copies, so a lookup fails only
+    # when every replica crashed.
+    replication_factor: int = 1
+    # Popular-data caching (the paper's stated future work, Section 7).
+    cache_enabled: bool = False
+    cache_capacity: int = 32  # entries per peer
+    cache_ttl: float = 300_000.0  # ms before an unrefreshed copy expires
+
+    # --- misc ------------------------------------------------------------
+    server_address: int = 0
+
+    def validate(self) -> None:
+        if not (0.0 <= self.p_s <= 1.0):
+            raise ValueError(f"p_s must be in [0, 1], got {self.p_s}")
+        if self.delta < 1:
+            raise ValueError(f"delta must be >= 1, got {self.delta}")
+        if self.ttl < 1:
+            raise ValueError(f"ttl must be >= 1, got {self.ttl}")
+        if not (1 <= self.id_bits <= 128):
+            raise ValueError(f"id_bits out of range: {self.id_bits}")
+        if self.pid_strategy not in ("random", "hash"):
+            raise ValueError(f"unknown pid_strategy {self.pid_strategy!r}")
+        if self.placement not in (PLACEMENT_DIRECT, PLACEMENT_SPREAD):
+            raise ValueError(f"unknown placement {self.placement!r}")
+        if self.search_mode not in (SEARCH_FLOOD, SEARCH_WALK):
+            raise ValueError(f"unknown search_mode {self.search_mode!r}")
+        if self.walkers < 1:
+            raise ValueError("walkers must be >= 1")
+        if self.walk_ttl < 1:
+            raise ValueError("walk_ttl must be >= 1")
+        if self.ring_routing not in (ROUTING_LINEAR, ROUTING_FINGER):
+            raise ValueError(f"unknown ring_routing {self.ring_routing!r}")
+        if self.lookup_timeout <= 0:
+            raise ValueError("lookup_timeout must be positive")
+        if self.max_refloods < 0 or self.reflood_ttl_step < 0:
+            raise ValueError("reflood settings must be non-negative")
+        if self.connect_policy not in (CONNECT_STAR, CONNECT_DEGREE, CONNECT_LINK_USAGE):
+            raise ValueError(f"unknown connect_policy {self.connect_policy!r}")
+        if self.assignment not in (
+            ASSIGN_BALANCED,
+            ASSIGN_RANDOM,
+            ASSIGN_INTEREST,
+            ASSIGN_BINNED,
+        ):
+            raise ValueError(f"unknown assignment {self.assignment!r}")
+        if self.snetwork_style not in (SNETWORK_GNUTELLA, SNETWORK_BITTORRENT):
+            raise ValueError(f"unknown snetwork_style {self.snetwork_style!r}")
+        if self.mesh_extra_links < 0:
+            raise ValueError("mesh_extra_links must be >= 0")
+        if self.hello_period <= 0 or self.neighbor_timeout <= 0 or self.ack_suppress < 0:
+            raise ValueError("liveness timers must be positive")
+        if self.election_grace <= 0:
+            raise ValueError("election_grace must be positive")
+        if self.join_retry_timeout <= 0:
+            raise ValueError("join_retry_timeout must be positive")
+        if self.neighbor_timeout <= self.hello_period:
+            raise ValueError(
+                "neighbor_timeout must exceed hello_period or every peer "
+                "looks crashed between heartbeats"
+            )
+        if self.link_usage_threshold <= 0:
+            raise ValueError("link_usage_threshold must be positive")
+        if self.n_landmarks < 0:
+            raise ValueError("n_landmarks must be >= 0")
+        if self.interest_band_bits < 0 or self.interest_band_bits >= self.id_bits:
+            raise ValueError("interest_band_bits must be in [0, id_bits)")
+        if self.bypass_lifetime <= 0:
+            raise ValueError("bypass_lifetime must be positive")
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
+        if self.cache_ttl <= 0:
+            raise ValueError("cache_ttl must be positive")
+        if self.assignment == ASSIGN_BINNED and self.n_landmarks < 1:
+            raise ValueError("binned assignment requires n_landmarks >= 1")
+
+    def with_changes(self, **changes) -> "HybridConfig":
+        """Return a validated copy with fields replaced."""
+        cfg = replace(self, **changes)
+        cfg.validate()
+        return cfg

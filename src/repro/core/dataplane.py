@@ -1,0 +1,473 @@
+"""Data insertion and lookup (Section 3.4) plus the BitTorrent-style
+s-network variant (Section 5.5).
+
+:class:`DataPlaneMixin` implements the two public operations --
+``store(key, value)`` and ``lookup(key)`` -- and every message handler
+they fan out into:
+
+* local operations when the hashed ``d_id`` falls inside the peer's own
+  s-network segment (insert into own database; TTL-bounded tree flood);
+* remote operations routed through the t-network ring to the owning
+  segment, then flooded there;
+* both placement schemes of Section 3.4 -- *direct* (the owning t-peer
+  stores everything, causing the imbalance of Fig. 4a-c) and *spread*
+  (recursive random spreading over directly connected s-peers,
+  Fig. 4d-f);
+* origin-side lookup timers with optional TTL-growing refloods;
+* the tracker-style data plane when ``snetwork_style == "bittorrent"``.
+
+Lookup metrics (latency / failure ratio / connum) are recorded in the
+shared :class:`~repro.core.lookup.QueryRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..overlay.messages import (
+    Ack,
+    BTFetch,
+    CachePush,
+    ReplicaPush,
+    BTLookup,
+    BTLookupReply,
+    BTRegister,
+    DataFound,
+    FloodQuery,
+    LookupRequest,
+    SpreadStore,
+    StoreAck,
+    StoreRequest,
+)
+from ..sim.timers import Timer
+from .config import PLACEMENT_SPREAD, SEARCH_WALK, SNETWORK_BITTORRENT
+
+__all__ = ["DataPlaneMixin"]
+
+
+class _PendingLookup:
+    """Origin-side state of one in-flight lookup."""
+
+    __slots__ = (
+        "timer", "ttl", "attempts", "via_bypass", "bypass_retry_done",
+        "d_id", "key", "local",
+    )
+
+    def __init__(self, timer: Timer, ttl: int, d_id: int, key: str, local: bool) -> None:
+        self.timer = timer
+        self.ttl = ttl
+        self.attempts = 0
+        self.via_bypass = False  # the initial send used a bypass link
+        self.bypass_retry_done = False
+        self.d_id = d_id
+        self.key = key
+        self.local = local
+
+
+class DataPlaneMixin:
+    """store/lookup operations and their message handlers."""
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    def store(self, key: str, value: Any) -> int:
+        """Insert a (key, value) item into the system; returns its d_id.
+
+        "The peer generating the data item first hashes the key into
+        this space.  If the d_id lies in the range of the current
+        s-network, the data item is inserted to its database ...
+        otherwise the data item is sent to the t-peer."
+        """
+        d_id = self.idspace.hash_key(key)
+        if self.owns_locally(d_id):
+            self._insert_as_holder(key, value, d_id, origin=self.address)
+            if self.config.replication_factor > 1:
+                # Anchor a durable replica at the owner side of the tree.
+                target = self.t_peer if self.role == "s" else -1
+                if target not in (-1, self.address):
+                    self.send(
+                        target,
+                        ReplicaPush(
+                            key=key, value=value, d_id=d_id,
+                            remaining=self.config.replication_factor - 2,
+                        ),
+                    )
+                elif self.role == "t":
+                    self._push_replicas(
+                        key, value, d_id, self.config.replication_factor - 1
+                    )
+        elif self.role == "s":
+            self.send(
+                self.t_peer,
+                StoreRequest(key=key, value=value, d_id=d_id, origin=self.address),
+            )
+        else:
+            self.send(
+                self.ring_next_hop(d_id),
+                StoreRequest(key=key, value=value, d_id=d_id, origin=self.address),
+            )
+        return d_id
+
+    def lookup(self, key: str) -> int:
+        """Start a lookup; returns the query id tracked by the registry."""
+        d_id = self.idspace.hash_key(key)
+        local = self.owns_locally(d_id)
+        rec = self.queries.start(self.address, key, d_id, self.engine.now, local)
+        qid = rec.query_id
+        timer = Timer(self.engine, self.config.lookup_timeout, lambda: self._lookup_expired(qid))
+        pending = _PendingLookup(timer, self.config.ttl, d_id, key, local)
+        self.pending_lookups[qid] = pending
+        self._launch_lookup(qid, pending)
+        return qid
+
+    # ==================================================================
+    # Lookup driving
+    # ==================================================================
+    def _launch_lookup(self, qid: int, pending: _PendingLookup) -> None:
+        pending.timer.start()
+        d_id, key, ttl = pending.d_id, pending.key, pending.ttl
+        # Own database first -- every peer "checks its own database" --
+        # then any surrogate copy in the local cache.
+        item = self.database.get(key) or self.cache_lookup(key)
+        if item is not None:
+            self.queries.succeed(qid, self.engine.now, holder=self.address)
+            pending.timer.cancel()
+            del self.pending_lookups[qid]
+            return
+        if pending.local:
+            if self.config.snetwork_style == SNETWORK_BITTORRENT:
+                if self.role == "t":
+                    self._bt_resolve(qid, key, origin=self.address)
+                else:
+                    self.send(
+                        self.t_peer,
+                        BTLookup(d_id=d_id, key=key, origin=self.address, query_id=qid),
+                    )
+                return
+            if self.config.search_mode == SEARCH_WALK:
+                self.launch_walkers(qid, key, d_id)
+                return
+            flood = FloodQuery(
+                d_id=d_id, key=key, origin=self.address, query_id=qid,
+                ttl=ttl, attempt=pending.attempts,
+            )
+            self.seen_queries.add((qid, pending.attempts))
+            for n in self.flood_targets():
+                self.send(n, flood)
+            return
+        # Remote: try a bypass shortcut first (Section 5.4), else ride
+        # the t-network.
+        if self.config.bypass_links:
+            target = self.bypass_target_for(d_id)
+            if target is not None:
+                pending.via_bypass = True
+                self.queries.note_bypass(qid)
+                self.send(
+                    target,
+                    FloodQuery(
+                        d_id=d_id, key=key, origin=self.address, query_id=qid,
+                        ttl=ttl, attempt=pending.attempts,
+                    ),
+                )
+                return
+        request = LookupRequest(
+            d_id=d_id, key=key, origin=self.address, query_id=qid,
+            ttl=ttl, attempt=pending.attempts,
+        )
+        if self.role == "s":
+            self.send(self.t_peer, request)
+        else:
+            self.send(self.ring_next_hop(d_id), request)
+
+    def _lookup_expired(self, qid: int) -> None:
+        pending = self.pending_lookups.get(qid)
+        if pending is None:
+            return
+        retry_budget = self.config.max_refloods
+        if pending.via_bypass:
+            # A stale bypass may have flooded the wrong s-network; one
+            # retry through the authoritative t-network is always owed
+            # on top of the configured refloods.
+            retry_budget += 1
+        if pending.attempts < retry_budget:
+            pending.attempts += 1
+            if pending.via_bypass and not pending.bypass_retry_done:
+                # Same TTL, but via the t-network this time.
+                pending.bypass_retry_done = True
+            else:
+                pending.ttl += self.config.reflood_ttl_step
+                self.queries.note_reflood(qid)
+            self._relaunch(qid, pending)
+            return
+        pending.timer.cancel()
+        del self.pending_lookups[qid]
+        self.queries.fail(qid, self.engine.now)
+        self.emit("lookup.failed", query_id=qid, key=pending.key)
+
+    def _relaunch(self, qid: int, pending: _PendingLookup) -> None:
+        """Re-issue the lookup (reflood) with the current TTL."""
+        pending.timer.start()
+        d_id, key, ttl = pending.d_id, pending.key, pending.ttl
+        if pending.local and self.config.snetwork_style != SNETWORK_BITTORRENT:
+            self.seen_queries.add((qid, pending.attempts))
+            flood = FloodQuery(
+                d_id=d_id, key=key, origin=self.address, query_id=qid,
+                ttl=ttl, attempt=pending.attempts,
+            )
+            for n in self.flood_targets():
+                self.send(n, flood)
+            return
+        request = LookupRequest(
+            d_id=d_id, key=key, origin=self.address, query_id=qid,
+            ttl=ttl, attempt=pending.attempts,
+        )
+        if self.role == "s":
+            self.send(self.t_peer, request)
+        else:
+            self.send(self.ring_next_hop(d_id), request)
+
+    # ==================================================================
+    # Lookup message handlers
+    # ==================================================================
+    def on_LookupRequest(self, msg: LookupRequest) -> None:
+        """Ring leg of a remote lookup."""
+        if self.role != "t":
+            # Stale t-peer pointer (handoff in flight): re-route.
+            self.send(self.t_peer, msg)
+            return
+        self.queries.contact(msg.query_id)
+        self.note_query_activity(msg.sender, msg.query_id)
+        cached = self.cache_lookup(msg.key)
+        if cached is not None:
+            # Surrogate copy: answer without riding the rest of the ring
+            # (the caching scheme's load diversion).
+            self.cache_hit_answer(msg.origin, msg.query_id, cached)
+            return
+        if not self.owns(msg.d_id):
+            self.send(self.ring_next_hop(msg.d_id), msg)
+            return
+        item = self.database.get(msg.key)
+        if item is not None:
+            self._answer(msg.origin, msg.query_id, item)
+            return
+        if self.config.snetwork_style == SNETWORK_BITTORRENT:
+            self._bt_resolve(msg.query_id, msg.key, origin=msg.origin)
+            return
+        if self.config.search_mode == SEARCH_WALK:
+            self.launch_walkers(msg.query_id, msg.key, msg.d_id)
+            return
+        flood = FloodQuery(
+            d_id=msg.d_id, key=msg.key, origin=msg.origin,
+            query_id=msg.query_id, ttl=msg.ttl, attempt=msg.attempt,
+        )
+        self.seen_queries.add((msg.query_id, msg.attempt))
+        for n in self.flood_targets():
+            self.send(n, flood)
+
+    def on_FloodQuery(self, msg: FloodQuery) -> None:
+        """Gnutella-style flood step inside the s-network tree."""
+        seen_key = (msg.query_id, msg.attempt)
+        if seen_key in self.seen_queries:
+            # Only possible over mesh-ablation extra links; the tree
+            # delivers each query exactly once (Section 3.2.2).
+            self.queries.contact(msg.query_id, duplicate=True)
+            return
+        self.seen_queries.add(seen_key)
+        self.queries.contact(msg.query_id)
+        self.note_query_activity(msg.sender, msg.query_id)
+        item = self.database.get(msg.key) or self.cache_lookup(msg.key)
+        if item is not None:
+            # "the peer will stop flooding and send the data item to the
+            # peer requesting the data item directly."
+            self._answer(msg.origin, msg.query_id, item)
+            return
+        if msg.ttl > 1:
+            fwd = FloodQuery(
+                d_id=msg.d_id, key=msg.key, origin=msg.origin,
+                query_id=msg.query_id, ttl=msg.ttl - 1, attempt=msg.attempt,
+            )
+            for n in self.flood_targets(exclude=msg.sender):
+                self.send(n, fwd)
+
+    def _answer(self, origin: int, qid: int, item) -> None:
+        self.answers_served += 1
+        self.send(
+            origin,
+            DataFound(
+                query_id=qid,
+                key=item.key,
+                value=item.value,
+                holder=self.address,
+                holder_pid=self.p_id,
+                holder_pred_pid=self._segment_lower_bound(),
+            ),
+        )
+
+    def _segment_lower_bound(self) -> int:
+        return self.predecessor_pid if self.role == "t" else self.segment_lo
+
+    def on_DataFound(self, msg: DataFound) -> None:
+        """Answer arrived at the origin."""
+        pending = self.pending_lookups.pop(msg.query_id, None)
+        if pending is not None:
+            pending.timer.cancel()
+        if self.queries.succeed(msg.query_id, self.engine.now, holder=msg.holder):
+            if self.config.bypass_links and msg.holder_pid != self.p_id:
+                self.add_bypass(msg.holder, msg.holder_pred_pid, msg.holder_pid)
+            if self.config.cache_enabled and msg.holder != self.address:
+                d_id = self.idspace.hash_key(msg.key)
+                self.cache_store(msg.key, msg.value, d_id)
+                if self.role == "s" and not self.owns_locally(d_id):
+                    # Seed the s-network's gateway surrogate: future
+                    # remote lookups from this network stop at the t-peer.
+                    self.send(
+                        self.t_peer,
+                        CachePush(key=msg.key, value=msg.value, d_id=d_id),
+                    )
+
+    def on_CachePush(self, msg: CachePush) -> None:
+        """Adopt a surrogate copy pushed by an s-network member."""
+        if self.config.cache_enabled:
+            self.cache_store(msg.key, msg.value, msg.d_id)
+
+    # ==================================================================
+    # Store handlers
+    # ==================================================================
+    def on_StoreRequest(self, msg: StoreRequest) -> None:
+        if self.role != "t":
+            self.send(self.t_peer, msg)
+            return
+        if not self.owns(msg.d_id):
+            self.send(self.ring_next_hop(msg.d_id), msg)
+            return
+        if self.config.replication_factor > 1:
+            # Replication extension: the owner anchors one durable copy;
+            # the remaining k-1 replicas spread into the s-network.
+            self._insert_as_holder(msg.key, msg.value, msg.d_id, msg.origin)
+            self._push_replicas(msg.key, msg.value, msg.d_id,
+                                self.config.replication_factor - 1)
+        elif self.config.placement == PLACEMENT_SPREAD:
+            self._spread(msg.key, msg.value, msg.d_id, msg.origin)
+        else:
+            self._insert_as_holder(msg.key, msg.value, msg.d_id, msg.origin)
+
+    def _spread(self, key: str, value: Any, d_id: int, origin: int) -> None:
+        """Placement scheme 2: "picks a random s-peer from its directly
+        connected s-peers and itself".
+
+        Spreading continues strictly *downward* (children only) so the
+        walk terminates; the paper's phrasing leaves the direction open
+        and downward preserves the intended load-balancing effect.
+        """
+        choices = [self.address] + sorted(self.children)
+        pick = choices[int(self.rng.integers(0, len(choices)))]
+        if pick == self.address:
+            self._insert_as_holder(key, value, d_id, origin)
+        else:
+            self.send(pick, SpreadStore(key=key, value=value, d_id=d_id, origin=origin))
+
+    def on_SpreadStore(self, msg: SpreadStore) -> None:
+        self._spread(msg.key, msg.value, msg.d_id, msg.origin)
+
+    def _push_replicas(self, key: str, value: Any, d_id: int, count: int) -> None:
+        """Hand ``count`` replicas to random children (one hop each)."""
+        if count <= 0:
+            return
+        children = sorted(self.children)
+        if not children:
+            return
+        pick = children[int(self.rng.integers(0, len(children)))]
+        self.send(
+            pick,
+            ReplicaPush(key=key, value=value, d_id=d_id, remaining=count - 1),
+        )
+
+    def on_ReplicaPush(self, msg: ReplicaPush) -> None:
+        """Adopt a durable replica; forward any further copies downward."""
+        self.database.insert(msg.key, msg.value, msg.d_id)
+        if msg.remaining > 0:
+            self._push_replicas(msg.key, msg.value, msg.d_id, msg.remaining)
+
+    def _insert_as_holder(self, key: str, value: Any, d_id: int, origin: int) -> None:
+        """Final insertion at this peer, plus variant bookkeeping."""
+        self.database.insert(key, value, d_id)
+        self.emit("data.stored", key=key, d_id=d_id)
+        if self.config.snetwork_style == SNETWORK_BITTORRENT:
+            if self.role == "t":
+                self.bt_index[key] = self.address
+            else:
+                self.send(self.t_peer, BTRegister(key=key, d_id=d_id, holder=self.address))
+        if self.config.bypass_links and origin not in (-1, self.address):
+            self.send(
+                origin,
+                StoreAck(
+                    key=key,
+                    holder=self.address,
+                    holder_pid=self.p_id,
+                    holder_pred_pid=self._segment_lower_bound(),
+                ),
+            )
+
+    def on_StoreAck(self, msg: StoreAck) -> None:
+        """Bypass rule 2: link up with the holder of our remote insert."""
+        if self.config.bypass_links and msg.holder_pid != self.p_id:
+            self.add_bypass(msg.holder, msg.holder_pred_pid, msg.holder_pid)
+
+    # ==================================================================
+    # BitTorrent-style data plane (Section 5.5)
+    # ==================================================================
+    def on_BTRegister(self, msg: BTRegister) -> None:
+        if self.role == "t":
+            self.bt_index[msg.key] = msg.holder
+
+    def _bt_resolve(self, qid: int, key: str, origin: int) -> None:
+        """Tracker t-peer answers from its index (no flooding)."""
+        item = self.database.get(key)
+        if item is not None:
+            if origin == self.address:
+                self.queries.succeed(qid, self.engine.now, holder=self.address)
+                self.answers_served += 1
+                pending = self.pending_lookups.pop(qid, None)
+                if pending is not None:
+                    pending.timer.cancel()
+            else:
+                self._answer(origin, qid, item)
+            return
+        holder = self.bt_index.get(key, -1)
+        if origin == self.address:
+            if holder == -1:
+                self._bt_negative(qid)
+            else:
+                self.send(holder, BTFetch(key=key, origin=self.address, query_id=qid))
+        else:
+            self.send(origin, BTLookupReply(query_id=qid, key=key, holder=holder))
+
+    def on_BTLookup(self, msg: BTLookup) -> None:
+        self.queries.contact(msg.query_id)
+        self.note_query_activity(msg.sender, msg.query_id)
+        if self.role != "t":
+            self.send(self.t_peer, msg)
+            return
+        self._bt_resolve(msg.query_id, msg.key, msg.origin)
+
+    def on_BTLookupReply(self, msg: BTLookupReply) -> None:
+        """Origin: fetch from the holder the tracker named."""
+        if msg.holder == -1:
+            self._bt_negative(msg.query_id)
+            return
+        if msg.query_id in self.pending_lookups:
+            self.send(msg.holder, BTFetch(key=msg.key, origin=self.address, query_id=msg.query_id))
+
+    def on_BTFetch(self, msg: BTFetch) -> None:
+        self.queries.contact(msg.query_id)
+        item = self.database.get(msg.key)
+        if item is not None:
+            self._answer(msg.origin, msg.query_id, item)
+        # A lost item (crash) yields silence; the origin's timer fails it.
+
+    def _bt_negative(self, qid: int) -> None:
+        """Tracker had no holder: fail fast instead of waiting out the timer."""
+        pending = self.pending_lookups.pop(qid, None)
+        if pending is not None:
+            pending.timer.cancel()
+        self.queries.fail(qid, self.engine.now)

@@ -1,0 +1,453 @@
+"""System facade: build, drive and measure a hybrid P2P deployment.
+
+:class:`HybridSystem` owns the full simulation stack -- engine, physical
+topology, router, capacity model, transport, bootstrap server, peers --
+and exposes the operations experiments need:
+
+* :meth:`build` -- construct an N-peer system by running every join
+  through the real protocol (t-peers first, then s-peers, as a static
+  population build; use :meth:`add_peer` for dynamic churn);
+* :meth:`populate` / :meth:`store_from` -- drive data insertion;
+* :meth:`run_lookups` -- issue lookup workloads in waves and pump the
+  engine until each wave resolves;
+* :meth:`crash_peers` / :meth:`leave_peers` + :meth:`settle` -- churn;
+* metric accessors: :meth:`query_stats`, :meth:`data_distribution`,
+  :meth:`join_latencies`, :meth:`snetwork_sizes`.
+
+Determinism: all randomness flows from named streams of one root seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..enhance.binning import choose_landmarks, coordinate_of
+from ..enhance.heterogeneity import assign_roles
+from ..net.links import CapacityModel, HeterogeneityConfig
+from ..net.routing import Router
+from ..net.stress import LinkStress
+from ..net.topology import (
+    NodeKind,
+    PhysicalTopology,
+    config_for_size,
+    generate_transit_stub,
+)
+from ..overlay.idspace import ClusteredIdSpace, IdSpace
+from ..overlay.transport import Transport
+from ..sim.engine import Engine
+from ..sim.rng import RngRegistry
+from ..sim.trace import TraceBus
+from .config import ROUTING_FINGER, HybridConfig
+from .hybridpeer import HybridPeer
+from .lookup import QueryRegistry, QueryStats
+from .server import BootstrapServer
+
+__all__ = ["HybridSystem"]
+
+
+class HybridSystem:
+    """A complete, runnable instance of the hybrid peer-to-peer system."""
+
+    def __init__(
+        self,
+        config: HybridConfig,
+        n_peers: int,
+        seed: int = 0,
+        topology: Optional[PhysicalTopology] = None,
+        track_stress: bool = False,
+        capacity_config: Optional[HeterogeneityConfig] = None,
+    ) -> None:
+        config.validate()
+        if n_peers < 1:
+            raise ValueError("n_peers must be >= 1")
+        self.config = config
+        self.n_peers = n_peers
+        self.rngs = RngRegistry(seed)
+        self.engine = Engine()
+        self.trace = TraceBus()
+        if config.interest_band_bits > 0:
+            self.idspace = ClusteredIdSpace(config.id_bits, config.interest_band_bits)
+        else:
+            self.idspace = IdSpace(config.id_bits)
+        self.queries = QueryRegistry()
+
+        # --- physical substrate -----------------------------------------
+        if topology is None:
+            topology = generate_transit_stub(
+                config_for_size(n_peers + 1), self.rngs.stream("topology")
+            )
+        if topology.n < n_peers + 1:
+            raise ValueError(
+                f"topology has {topology.n} hosts; need {n_peers + 1} "
+                "(peers + server)"
+            )
+        self.topology = topology
+        self.router = Router(topology)
+        self.stress = LinkStress() if track_stress else None
+
+        # Access-link capacities are indexed by overlay address
+        # (0 = server, 1..N = peers): the paper's 1/3-1/3-1/3 classes.
+        self.capacities = CapacityModel(
+            n_peers + 1, self.rngs.stream("capacity"), capacity_config
+        )
+        self.transport = Transport(
+            self.engine,
+            router=self.router,
+            capacity_of=self._capacity_of,
+            stress=self.stress,
+            trace=self.trace,
+        )
+
+        # --- host placement -----------------------------------------------
+        # The server sits on a transit node (a well-connected host); each
+        # peer gets its own distinct host, chosen uniformly.
+        place_rng = self.rngs.stream("placement")
+        transit = topology.transit_nodes
+        self.server_host = int(transit[int(place_rng.integers(0, len(transit)))])
+        candidates = [h for h in range(topology.n) if h != self.server_host]
+        hosts = place_rng.choice(len(candidates), size=n_peers, replace=False)
+        self._peer_hosts = [int(candidates[int(i)]) for i in hosts]
+
+        # --- landmarks (Section 5.2) ----------------------------------------
+        if config.n_landmarks > 0:
+            self.landmarks = choose_landmarks(
+                self.router, config.n_landmarks, self.rngs.stream("landmarks")
+            )
+        else:
+            self.landmarks = ()
+
+        # --- actors ------------------------------------------------------------
+        self.server = BootstrapServer(
+            host=self.server_host,
+            engine=self.engine,
+            transport=self.transport,
+            idspace=self.idspace,
+            config=config,
+            rng=self.rngs.stream("server"),
+            trace=self.trace,
+            landmarks=self.landmarks,
+        )
+        self.transport.register(self.server)
+        self.peers: Dict[int, HybridPeer] = {}
+        self._next_address = 1
+        self._stored_count = 0
+        self._issued_stores = 0
+        self.trace.subscribe("data.stored", self._on_stored)
+        self.built = False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _on_stored(self, record) -> None:
+        self._stored_count += 1
+
+    def _capacity_of(self, address: int) -> float:
+        """Access-link capacity used by the transport's delay model.
+
+        Resolves through the peer object so the capacity that drove role
+        assignment is exactly the capacity that shapes delays (peers are
+        created in role order, which permutes addresses).
+        """
+        peer = self.peers.get(address)
+        if peer is not None:
+            return peer.capacity
+        return self.capacities.capacity(address)
+
+    def _new_peer(
+        self,
+        host: int,
+        capacity: float,
+        interest: Optional[str],
+    ) -> HybridPeer:
+        address = self._next_address
+        self._next_address += 1
+        coordinate = None
+        if self.landmarks:
+            coordinate = coordinate_of(self.router, host, self.landmarks)
+        peer = HybridPeer(
+            address=address,
+            host=host,
+            engine=self.engine,
+            transport=self.transport,
+            idspace=self.idspace,
+            config=self.config,
+            rng=self.rngs.stream("protocol"),
+            queries=self.queries,
+            capacity=capacity,
+            interest=interest,
+            coordinate=coordinate,
+            trace=self.trace,
+        )
+        self.transport.register(peer)
+        self.peers[address] = peer
+        return peer
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self, interests: Optional[Sequence[Optional[str]]] = None) -> None:
+        """Construct the system by joining all ``n_peers`` peers.
+
+        Roles are pre-assigned to hit ``p_s`` exactly (and, with the
+        Section 5.1 enhancement, to give t-duty to the fastest links);
+        the pre-assignment stands in for the capacity ranking the
+        server would accumulate online.  t-peers join first -- an
+        s-network cannot exist before its anchor -- then s-peers.
+        Every join runs through the full message protocol.
+        """
+        if self.built:
+            raise RuntimeError("system already built")
+        if interests is not None and len(interests) != self.n_peers:
+            raise ValueError("interests must have one entry per peer")
+        capacities = [self.capacities.capacity(1 + i) for i in range(self.n_peers)]
+        roles = assign_roles(
+            capacities,
+            self.config.p_s,
+            self.rngs.stream("roles"),
+            self.config.heterogeneity_aware,
+        )
+        order = sorted(range(self.n_peers), key=lambda i: (roles[i] != "t", i))
+        self.server.preassigned_roles = {}
+        peers_in_order: List[HybridPeer] = []
+        for i in order:
+            peer = self._new_peer(
+                host=self._peer_hosts[i],
+                capacity=capacities[i],
+                interest=interests[i] if interests is not None else None,
+            )
+            self.server.preassigned_roles[peer.address] = roles[i]
+            peers_in_order.append(peer)
+        for peer in peers_in_order:
+            peer.begin_join()
+            self.engine.run_while(lambda: not peer.joined)
+            if not peer.joined:
+                raise RuntimeError(f"peer {peer.address} failed to join")
+        if self.config.ring_routing == ROUTING_FINGER:
+            self.install_fingers()
+        if self.config.mesh_extra_links > 0:
+            self._wire_mesh()
+        self.built = True
+
+    def add_peer(self, interest: Optional[str] = None, wait: bool = True) -> HybridPeer:
+        """Dynamically join one more peer (role decided by the server)."""
+        host_rng = self.rngs.stream("placement")
+        used = {p.host for p in self.peers.values()} | {self.server_host}
+        free = [h for h in range(self.topology.n) if h not in used]
+        if free:
+            host = int(free[int(host_rng.integers(0, len(free)))])
+        else:  # more peers than hosts: share
+            host = int(host_rng.integers(0, self.topology.n))
+        # Per-address capacity; the model grows on demand for late joiners.
+        capacity = self.capacities.capacity(self._next_address)
+        peer = self._new_peer(host, capacity, interest)
+        peer.begin_join()
+        if wait:
+            self.engine.run_while(lambda: not peer.joined)
+        return peer
+
+    def install_fingers(self) -> None:
+        """Install consistent finger tables on every t-peer.
+
+        Stands in for Chord's background stabilization protocol (which
+        the paper assumes but does not simulate): finger ``k`` of a
+        t-peer points at the owner of ``p_id + 2**k``.
+        """
+        members = self.server.ring.members()
+        if not members:
+            return
+        for peer in self.peers.values():
+            if peer.role != "t" or not peer.alive:
+                continue
+            fingers = []
+            seen = set()
+            for k in range(self.idspace.bits):
+                start = self.idspace.finger_start(peer.p_id, k)
+                f_pid, f_addr = self.server.ring.owner_of(start)
+                if f_addr != peer.address and f_addr not in seen:
+                    seen.add(f_addr)
+                    fingers.append((f_pid, f_addr))
+            peer.set_fingers(fingers)
+
+    def _wire_mesh(self) -> None:
+        """Mesh ablation: add extra intra-s-network links (Section 3.2.2
+        argues trees beat meshes on duplicate deliveries; this lets the
+        benchmark verify that claim)."""
+        rng = self.rngs.stream("mesh")
+        groups: Dict[int, List[int]] = {}
+        for peer in self.peers.values():
+            if peer.role == "s":
+                groups.setdefault(peer.t_peer, []).append(peer.address)
+        for t_addr, members in groups.items():
+            pool = members + [t_addr]
+            if len(pool) < 3:
+                continue
+            for addr in members:
+                peer = self.peers[addr]
+                for _ in range(self.config.mesh_extra_links):
+                    other = int(pool[int(rng.integers(0, len(pool)))])
+                    if other == addr or other in peer.tree_neighbors():
+                        continue
+                    peer.extra_links.add(other)
+                    target = self.peers.get(other, self.peers.get(t_addr))
+                    if other == t_addr:
+                        target = self.peers[t_addr]
+                    if target is not None:
+                        target.extra_links.add(addr)
+
+    # ------------------------------------------------------------------
+    # Data plane driving
+    # ------------------------------------------------------------------
+    def store_from(self, origin: int, key: str, value) -> None:
+        """Issue one store from a given peer (does not pump the engine)."""
+        self._issued_stores += 1
+        self.peers[origin].store(key, value)
+
+    def populate(
+        self,
+        items: Iterable[Tuple[int, str, object]],
+        drain: bool = True,
+        max_events: int = 50_000_000,
+    ) -> int:
+        """Insert ``(origin_address, key, value)`` items; returns count.
+
+        With ``drain=True`` the engine runs until every item reached its
+        final holder (tracked via the ``data.stored`` trace event).
+        """
+        count = 0
+        for origin, key, value in items:
+            self.store_from(origin, key, value)
+            count += 1
+        if drain:
+            self.engine.run_while(
+                lambda: self._stored_count < self._issued_stores, max_events
+            )
+            # Every item has a holder, but side-channel confirmations
+            # (BitTorrent tracker registrations, store acks for bypass
+            # links) may still be in flight -- and the paper assumes
+            # "the data are inserted to the system before it is looked
+            # up", so settle them too.
+            if self.config.heartbeats_enabled:
+                self.settle(5_000.0)
+            else:
+                self.engine.run()
+        return count
+
+    def run_lookups(
+        self,
+        pairs: Iterable[Tuple[int, str]],
+        wave_size: int = 200,
+        max_events: int = 200_000_000,
+    ) -> None:
+        """Issue ``(origin_address, key)`` lookups in concurrent waves.
+
+        Each wave is pumped until fully resolved (success or timer
+        expiry) before the next is issued, bounding the number of
+        simultaneously in-flight floods the way a paced workload would.
+        """
+        wave: List[Tuple[int, str]] = []
+
+        def flush() -> None:
+            for origin, key in wave:
+                peer = self.peers[origin]
+                if peer.alive:
+                    peer.lookup(key)
+            wave.clear()
+            self.engine.run_while(lambda: self.queries.unresolved > 0, max_events)
+
+        for pair in pairs:
+            wave.append(pair)
+            if len(wave) >= wave_size:
+                flush()
+        if wave:
+            flush()
+
+    # ------------------------------------------------------------------
+    # Churn driving
+    # ------------------------------------------------------------------
+    def crash_peers(self, addresses: Iterable[int]) -> int:
+        """Abruptly kill the given peers (no notifications, data lost)."""
+        n = 0
+        for addr in addresses:
+            peer = self.peers.get(addr)
+            if peer is not None and peer.alive:
+                peer.crash()
+                n += 1
+        return n
+
+    def crash_random_fraction(self, fraction: float) -> List[int]:
+        """Crash a random fraction of alive peers; returns their addresses."""
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("fraction must be in [0, 1]")
+        rng = self.rngs.stream("churn")
+        alive = [a for a, p in self.peers.items() if p.alive]
+        k = int(round(fraction * len(alive)))
+        chosen = [int(a) for a in rng.choice(alive, size=k, replace=False)] if k else []
+        self.crash_peers(chosen)
+        return chosen
+
+    def leave_peers(self, addresses: Iterable[int], wait: bool = True) -> None:
+        """Gracefully remove peers (protocol-driven departure)."""
+        targets = [self.peers[a] for a in addresses if a in self.peers]
+        for peer in targets:
+            if peer.alive:
+                peer.leave()
+        if wait:
+            self.engine.run_while(
+                lambda: any(p.alive and (p.leaving or p.want_leave) for p in targets)
+            )
+
+    def settle(self, duration: float) -> None:
+        """Advance simulated time (lets detection/repair/elections run)."""
+        self.engine.run_until(self.engine.now + duration)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def alive_peers(self) -> List[HybridPeer]:
+        return [p for p in self.peers.values() if p.alive]
+
+    def t_peers(self) -> List[HybridPeer]:
+        return [p for p in self.alive_peers() if p.role == "t"]
+
+    def s_peers(self) -> List[HybridPeer]:
+        return [p for p in self.alive_peers() if p.role == "s"]
+
+    def query_stats(self) -> QueryStats:
+        return self.queries.stats()
+
+    def join_latencies(self) -> Dict[str, np.ndarray]:
+        """Measured join latencies, split by role."""
+        t = [p.join_latency for p in self.peers.values() if p.role == "t" and p.joined]
+        s = [p.join_latency for p in self.peers.values() if p.role == "s" and p.joined]
+        return {"t": np.asarray(t, dtype=float), "s": np.asarray(s, dtype=float)}
+
+    def data_distribution(self) -> np.ndarray:
+        """Items per alive peer (the Fig. 4 quantity)."""
+        return np.asarray([len(p.database) for p in self.alive_peers()], dtype=int)
+
+    def total_items(self) -> int:
+        return int(sum(len(p.database) for p in self.alive_peers()))
+
+    def snetwork_sizes(self) -> Dict[int, int]:
+        """s-peers per t-peer (anchor address -> member count)."""
+        sizes: Dict[int, int] = {p.address: 0 for p in self.t_peers()}
+        for peer in self.s_peers():
+            sizes[peer.t_peer] = sizes.get(peer.t_peer, 0) + 1
+        return sizes
+
+    def ring_order(self) -> List[int]:
+        """Alive t-peer addresses in ring (p_id) order, from live pointers."""
+        t_peers = self.t_peers()
+        if not t_peers:
+            return []
+        start = min(t_peers, key=lambda p: p.p_id)
+        order = [start.address]
+        cur = self.peers.get(start.successor)
+        hops = 0
+        while cur is not None and cur.address != start.address and hops <= len(self.peers):
+            order.append(cur.address)
+            cur = self.peers.get(cur.successor)
+            hops += 1
+        return order

@@ -1,0 +1,316 @@
+"""The hybrid peer: one class, two roles.
+
+A :class:`HybridPeer` is an s-peer or a t-peer -- and may change role
+over its lifetime (promotion on t-peer leave/crash), which is exactly
+why the paper's design keeps the t-network cheap to maintain.  All
+protocol behaviour lives in the role mixins:
+
+* :class:`~repro.core.tnetwork.TNetworkMixin` -- ring membership/routing,
+* :class:`~repro.core.snetwork.SNetworkMixin` -- tree membership,
+* :class:`~repro.core.dataplane.DataPlaneMixin` -- store/lookup,
+* :class:`~repro.core.failures.LivenessMixin` -- heartbeats and crash
+  recovery,
+* :class:`~repro.enhance.bypass.BypassMixin` -- Section 5.4 shortcuts.
+
+This module owns the *state* those mixins operate on, the join entry
+point (contact the server, then run the t-join ring walk or the s-join
+tree walk), and the public ``leave`` / ``crash`` lifecycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..enhance.bypass import BypassLink, BypassMixin
+from ..enhance.caching import CacheMixin, LruCache
+from ..overlay.idspace import IdSpace
+from ..overlay.messages import (
+    LoadTransfer,
+    Message,
+    ServerJoin,
+    ServerJoinReply,
+    ServerUpdate,
+    SJoinRequest,
+    TJoinRequest,
+    TLeaveToPre,
+)
+from ..overlay.peer import BasePeer
+from ..overlay.transport import Transport
+from ..sim.engine import Engine
+from ..sim.timers import PeriodicTimer, Timer
+from ..sim.trace import TraceBus
+from .config import HybridConfig
+from .datastore import DataStore
+from .dataplane import DataPlaneMixin
+from .failures import LivenessMixin
+from .lookup import QueryRegistry
+from .search import PartialSearch, SearchMixin
+from .snetwork import SNetworkMixin
+from .tnetwork import TNetworkMixin
+
+__all__ = ["HybridPeer"]
+
+
+class HybridPeer(
+    TNetworkMixin,
+    SNetworkMixin,
+    DataPlaneMixin,
+    SearchMixin,
+    LivenessMixin,
+    BypassMixin,
+    CacheMixin,
+    BasePeer,
+):
+    """A peer of the hybrid system (role "t" or "s")."""
+
+    def __init__(
+        self,
+        address: int,
+        host: int,
+        engine: Engine,
+        transport: Transport,
+        idspace: IdSpace,
+        config: HybridConfig,
+        rng: np.random.Generator,
+        queries: QueryRegistry,
+        capacity: float = 1.0,
+        interest: Optional[str] = None,
+        coordinate: Optional[Tuple[int, ...]] = None,
+        trace: Optional[TraceBus] = None,
+    ) -> None:
+        super().__init__(address, host, engine, transport, idspace, trace)
+        self.config = config
+        self.rng = rng
+        self.queries = queries
+        self.capacity = capacity
+        self.interest = interest
+        self.coordinate = coordinate
+        self.server_address = config.server_address
+
+        # --- lifecycle -------------------------------------------------
+        self.role: str = "new"
+        self.joined = False
+        self.join_request_time = float("nan")
+        self.join_latency = float("nan")
+
+        # --- ring state (role "t") --------------------------------------
+        self.p_id = -1
+        self.predecessor = -1
+        self.predecessor_pid = -1
+        self.successor = -1
+        self.successor_pid = -1
+        self.fingers: List[Tuple[int, int]] = []
+        self.joining = False
+        self.pending_join: Optional[Tuple[int, int]] = None
+        self.join_queue: Deque[TJoinRequest] = deque()
+        self.leaving = False
+        self.want_leave = False
+        self.deferred_leaves: List[TLeaveToPre] = []
+        self.handoff_target = -1
+        self._handoff_timer: Optional[Timer] = None
+        # Departure-time load dump (acked + retried; see _depart_with_load).
+        self._dump_candidates: List[int] = []
+        self._dump_pending_id = -1
+        self._dump_next_id = 0
+        self._dump_timer: Optional[Timer] = None
+        self._dump_reason = "leave"
+
+        # --- tree state --------------------------------------------------
+        self.t_peer = -1
+        self.cp = -1
+        self.children: Set[int] = set()
+        self.segment_lo = -1
+        self.extra_links: Set[int] = set()  # mesh ablation only
+        self._rejoin_timer: Optional[Timer] = None
+
+        # --- liveness ------------------------------------------------------
+        self.neighbor_timers: Dict[int, Timer] = {}
+        self.hello_timer: Optional[PeriodicTimer] = None
+        self.ack_suppress_until = float("-inf")
+        # Per-neighbor time of the last ack/HELLO we sent (bandwidth
+        # optimisation: a fresh ack cancels that neighbor's next HELLO).
+        self._last_liveness_sent: Dict[int, float] = {}
+
+        # --- data plane -----------------------------------------------------
+        self.database = DataStore(idspace)
+        self.seen_queries: Set[Tuple[int, int]] = set()
+        self.pending_lookups: Dict[int, object] = {}
+        self.pending_searches: Dict[int, PartialSearch] = {}
+        self.bt_index: Dict[str, int] = {}
+
+        # --- bypass links (Section 5.4) ---------------------------------------
+        self.bypass: Dict[int, BypassLink] = {}
+
+        # --- popular-data cache (future work, Section 7) ------------------------
+        self.cache: Optional[LruCache] = (
+            LruCache(config.cache_capacity, config.cache_ttl)
+            if config.cache_enabled
+            else None
+        )
+        self.answers_served = 0  # queries this peer answered (db or cache)
+
+    # ------------------------------------------------------------------
+    # Join
+    # ------------------------------------------------------------------
+    def begin_join(self) -> None:
+        """Contact the well-known server (Section 3.2)."""
+        self.join_request_time = self.engine.now
+        self.send(
+            self.server_address,
+            ServerJoin(
+                address=self.address,
+                capacity=self.capacity,
+                interest=self.interest,
+                coordinate=self.coordinate,
+            ),
+        )
+
+    def on_ServerJoinReply(self, msg: ServerJoinReply) -> None:
+        if msg.role == "t":
+            if msg.entry_peer == -1:
+                self._bootstrap_ring(msg.p_id)
+            else:
+                self.send(
+                    msg.entry_peer,
+                    TJoinRequest(new_address=self.address, new_pid=msg.p_id),
+                )
+        else:
+            self.role = "s"
+            self.t_peer = msg.entry_peer
+            self.send(msg.entry_peer, SJoinRequest(new_address=self.address))
+            self._arm_rejoin_retry()
+
+    def _bootstrap_ring(self, p_id: int) -> None:
+        """First peer of the system: a single-member ring."""
+        self.role = "t"
+        self.p_id = p_id
+        self.t_peer = self.address
+        self.predecessor, self.predecessor_pid = self.address, p_id
+        self.successor, self.successor_pid = self.address, p_id
+        self.segment_lo = p_id
+        self._complete_join()
+        self.send(
+            self.server_address,
+            ServerUpdate(kind="t_join", address=self.address, p_id=p_id),
+        )
+
+    def _complete_join(self) -> None:
+        self.joined = True
+        self.join_latency = self.engine.now - self.join_request_time
+        self.emit("join.complete", role=self.role, latency=self.join_latency)
+        self.start_heartbeats()
+
+    # ------------------------------------------------------------------
+    # Leave / crash
+    # ------------------------------------------------------------------
+    def leave(self) -> None:
+        """Graceful departure (Table 1 / Section 3.2.2)."""
+        if not self.alive or not self.joined:
+            return
+        if self.role == "t":
+            self.leave_t()
+        else:
+            self.leave_s()
+
+    @property
+    def departing(self) -> bool:
+        """True while a departure-time load dump is awaiting its ack."""
+        return self._dump_pending_id >= 0
+
+    def _depart_with_load(self, candidates: List[int], reason: str) -> None:
+        """Hand the database to the first candidate that acknowledges,
+        then depart.
+
+        Fire-and-forget dumps silently destroy data when the recipient
+        departs concurrently (the message is dropped); the ack + retry
+        loop walks the candidate list until someone confirms receipt.
+        If everyone is gone the data is genuinely lost -- exactly as it
+        would be in a real deployment.
+        """
+        if len(self.database) == 0:
+            self._depart()
+            return
+        # Last resort: the bootstrap server relays the dump to whoever
+        # currently owns the items' segment (every cached pointer may be
+        # stale after heavy concurrent churn).
+        self._dump_candidates = [
+            c for c in candidates if c not in (-1, self.address)
+        ] + [self.server_address]
+        self._dump_reason = reason
+        self._try_dump()
+
+    def _try_dump(self) -> None:
+        while self._dump_candidates:
+            target = self._dump_candidates.pop(0)
+            # A failed connect is immediately visible to the sender.
+            if not self.transport.is_reachable(target):
+                continue
+            tid = self._dump_next_id
+            self._dump_next_id += 1
+            self._dump_pending_id = tid
+            self.send(
+                target,
+                LoadTransfer(
+                    items=tuple((i.key, i.value, i.d_id) for i in self.database),
+                    reason=self._dump_reason,
+                    transfer_id=tid,
+                    origin=self.address,
+                ),
+            )
+            if self._dump_timer is None:
+                self._dump_timer = Timer(
+                    self.engine, self.config.join_retry_timeout, self._dump_timeout
+                )
+            self._dump_timer.start()
+            return
+        self._dump_pending_id = -1
+        self.emit("load.lost", items=len(self.database))
+        self._depart()
+
+    def _dump_timeout(self) -> None:
+        if self.alive and self.departing:
+            self._dump_pending_id = -1
+            self._try_dump()
+
+    def on_LoadTransferAck(self, msg) -> None:
+        if msg.transfer_id == self._dump_pending_id:
+            self._dump_pending_id = -1
+            if self._dump_timer is not None:
+                self._dump_timer.cancel()
+            self._depart()
+
+    def _depart(self) -> None:
+        """Final exit after all departure messages went out."""
+        self.stop_liveness()
+        self._cancel_rejoin_retry()
+        if self._handoff_timer is not None:
+            self._handoff_timer.cancel()
+        if self._dump_timer is not None:
+            self._dump_timer.cancel()
+        for pending in list(self.pending_lookups.values()):
+            pending.timer.cancel()
+        self.pending_lookups.clear()
+        self.alive = False
+        self.emit("peer.departed", role=self.role)
+
+    def crash(self) -> None:
+        """Abrupt failure: no notifications, all local state frozen."""
+        self.stop_liveness()
+        self._cancel_rejoin_retry()
+        if self._handoff_timer is not None:
+            self._handoff_timer.cancel()
+        for pending in list(self.pending_lookups.values()):
+            pending.timer.cancel()
+        self.pending_lookups.clear()
+        super().crash()
+        self.emit("peer.crashed", role=self.role)
+
+    # ------------------------------------------------------------------
+    def unhandled(self, msg: Message) -> None:
+        raise NotImplementedError(
+            f"peer {self.address} (role {self.role}) has no handler for "
+            f"{type(msg).__name__}"
+        )

@@ -1,0 +1,193 @@
+"""Lookup bookkeeping: latency, failure ratio, and *connum*.
+
+The paper's evaluation metrics (Section 6) are all per-lookup
+quantities:
+
+* **lookup latency** -- "time difference between the time when the peer
+  issues the data lookup request and the time when the peer receives
+  the data", successful lookups only;
+* **lookup failure ratio** -- failed lookups / total lookups, where a
+  failure is an expired lookup timer;
+* **connum** -- "the number of peers all the data lookup requests
+  contact during the simulation".
+
+:class:`QueryRegistry` is a measurement-only shared object: every peer
+that receives a lookup-related message calls :meth:`contact`, origins
+call :meth:`start`/:meth:`succeed`/:meth:`fail`.  It deliberately sits
+outside the message plane (the real system would not have it; NS2
+experiments use the same trick via its trace files).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["QueryRecord", "QueryRegistry", "QueryStats"]
+
+PENDING = "pending"
+SUCCESS = "success"
+FAILED = "failed"
+
+
+@dataclass
+class QueryRecord:
+    """Lifecycle of one lookup operation."""
+
+    query_id: int
+    origin: int
+    key: str
+    d_id: int
+    start_time: float
+    local: bool  # did the d_id fall in the origin's own s-network?
+    status: str = PENDING
+    end_time: float = float("nan")
+    contacts: int = 0
+    duplicate_contacts: int = 0
+    holder: int = -1
+    refloods: int = 0
+    via_bypass: bool = False
+    hops: int = 0  # overlay hops travelled by the winning answer path
+
+    @property
+    def latency(self) -> float:
+        """Wall-clock (simulated) latency; NaN while pending/failed."""
+        if self.status != SUCCESS:
+            return float("nan")
+        return self.end_time - self.start_time
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Aggregates over a set of completed lookups (paper's metrics)."""
+
+    total: int
+    successes: int
+    failures: int
+    pending: int
+    failure_ratio: float
+    mean_latency: float
+    median_latency: float
+    p95_latency: float
+    connum: int
+    mean_contacts_per_lookup: float
+    duplicate_contacts: int
+    local_fraction: float
+
+    def __str__(self) -> str:
+        return (
+            f"lookups={self.total} fail_ratio={self.failure_ratio:.4f} "
+            f"mean_latency={self.mean_latency:.1f}ms connum={self.connum}"
+        )
+
+
+class QueryRegistry:
+    """Tracks every lookup in flight and aggregates the paper's metrics."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, QueryRecord] = {}
+        self._next_id = 0
+        self.unresolved = 0
+
+    # ------------------------------------------------------------------
+    def start(
+        self, origin: int, key: str, d_id: int, time: float, local: bool
+    ) -> QueryRecord:
+        """Register a new lookup; returns its record (with fresh id)."""
+        qid = self._next_id
+        self._next_id += 1
+        rec = QueryRecord(
+            query_id=qid, origin=origin, key=key, d_id=d_id,
+            start_time=time, local=local,
+        )
+        self._records[qid] = rec
+        self.unresolved += 1
+        return rec
+
+    def get(self, query_id: int) -> Optional[QueryRecord]:
+        return self._records.get(query_id)
+
+    def contact(self, query_id: int, duplicate: bool = False) -> None:
+        """One more peer was contacted on behalf of this lookup.
+
+        Counted regardless of the lookup's current status: flood packets
+        still in flight after the answer arrived consumed bandwidth,
+        which is exactly what connum approximates.
+        """
+        rec = self._records.get(query_id)
+        if rec is None:
+            return
+        if duplicate:
+            rec.duplicate_contacts += 1
+        else:
+            rec.contacts += 1
+
+    def succeed(self, query_id: int, time: float, holder: int, hops: int = 0) -> bool:
+        """Mark success (first answer wins); returns False if too late."""
+        rec = self._records.get(query_id)
+        if rec is None or rec.status != PENDING:
+            return False
+        rec.status = SUCCESS
+        rec.end_time = time
+        rec.holder = holder
+        rec.hops = hops
+        self.unresolved -= 1
+        return True
+
+    def fail(self, query_id: int, time: float) -> bool:
+        """Mark failure (lookup timer expired with no answer)."""
+        rec = self._records.get(query_id)
+        if rec is None or rec.status != PENDING:
+            return False
+        rec.status = FAILED
+        rec.end_time = time
+        self.unresolved -= 1
+        return True
+
+    def note_reflood(self, query_id: int) -> None:
+        rec = self._records.get(query_id)
+        if rec is not None:
+            rec.refloods += 1
+
+    def note_bypass(self, query_id: int) -> None:
+        rec = self._records.get(query_id)
+        if rec is not None:
+            rec.via_bypass = True
+
+    # ------------------------------------------------------------------
+    def records(self) -> List[QueryRecord]:
+        return list(self._records.values())
+
+    def reset(self) -> None:
+        """Drop all records (keeps the id counter monotone)."""
+        self._records.clear()
+        self.unresolved = 0
+
+    def stats(self) -> QueryStats:
+        """Aggregate the paper's metrics over all finished lookups."""
+        recs = list(self._records.values())
+        total = len(recs)
+        successes = [r for r in recs if r.status == SUCCESS]
+        failures = sum(1 for r in recs if r.status == FAILED)
+        pending = sum(1 for r in recs if r.status == PENDING)
+        finished = len(successes) + failures
+        latencies = np.array([r.latency for r in successes], dtype=float)
+        connum = sum(r.contacts for r in recs)
+        duplicates = sum(r.duplicate_contacts for r in recs)
+        local = sum(1 for r in recs if r.local)
+        return QueryStats(
+            total=total,
+            successes=len(successes),
+            failures=failures,
+            pending=pending,
+            failure_ratio=(failures / finished) if finished else 0.0,
+            mean_latency=float(latencies.mean()) if latencies.size else float("nan"),
+            median_latency=float(np.median(latencies)) if latencies.size else float("nan"),
+            p95_latency=float(np.percentile(latencies, 95)) if latencies.size else float("nan"),
+            connum=connum,
+            mean_contacts_per_lookup=(connum / total) if total else 0.0,
+            duplicate_contacts=duplicates,
+            local_fraction=(local / total) if total else 0.0,
+        )

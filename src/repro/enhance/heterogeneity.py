@@ -1,0 +1,63 @@
+"""Link-heterogeneity-aware role assignment (Section 5.1).
+
+"Since t-peers are connected to more other peers than s-peers on
+average, we assign peers with higher link capacities as t-peers while
+peers with lower link capacities as s-peers."
+
+The online decision lives in :meth:`BootstrapServer.decide_role`; this
+module provides the *build-time* pre-assignment used when an experiment
+constructs a whole population at once (the paper's setup: 1000 peers,
+fixed capacity classes), plus the link-usage metric for connect-point
+gating.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["assign_roles", "link_usage"]
+
+
+def assign_roles(
+    capacities: Sequence[float],
+    p_s: float,
+    rng: np.random.Generator,
+    heterogeneity_aware: bool,
+) -> List[str]:
+    """Pre-assign "t"/"s" roles to a population.
+
+    ``round((1 - p_s) * n)`` peers become t-peers (at least one).  With
+    the enhancement on, the t-slots go to the highest-capacity peers
+    (ties broken randomly); otherwise t-peers are drawn uniformly, as in
+    the paper's base simulation setup ("each node is assigned to be
+    either an s-peer or a t-peer randomly").
+    """
+    n = len(capacities)
+    if n == 0:
+        return []
+    if not (0.0 <= p_s <= 1.0):
+        raise ValueError(f"p_s must be in [0, 1], got {p_s}")
+    n_t = max(1, round((1.0 - p_s) * n)) if p_s < 1.0 else 1
+    n_t = min(n_t, n)
+    roles = ["s"] * n
+    if heterogeneity_aware:
+        # Sort by capacity descending with a random tiebreak so equal
+        # capacities don't privilege low indices.
+        jitter = rng.random(n)
+        order = sorted(range(n), key=lambda i: (-capacities[i], jitter[i]))
+        chosen = order[:n_t]
+    else:
+        chosen = rng.choice(n, size=n_t, replace=False)
+    for i in chosen:
+        roles[int(i)] = "t"
+    return roles
+
+
+def link_usage(degree: int, capacity: float) -> float:
+    """Section 5.1's *link usage*: "the ratio of the degree to the link
+    capacity of the peer"."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    return degree / capacity

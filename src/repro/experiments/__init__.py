@@ -1,0 +1,17 @@
+"""Reproduction experiments: one module per paper table/figure.
+
+* :mod:`~repro.experiments.fig3_analysis` -- Fig. 3a/3b (closed forms);
+* :mod:`~repro.experiments.fig4_distribution` -- Fig. 4 (placement PDFs);
+* :mod:`~repro.experiments.fig5_failure` -- Fig. 5a/5b (failure ratio);
+* :mod:`~repro.experiments.fig6_latency` -- Fig. 6a/6b (latency and
+  the heterogeneity/topology-awareness enhancements);
+* :mod:`~repro.experiments.table2_connum` -- Table 2 (connum grid).
+
+Shared sweep machinery lives in :mod:`~repro.experiments.common`; the
+benchmark suite under ``benchmarks/`` calls these drivers with
+``Scale.quick()``, while EXPERIMENTS.md records the larger runs.
+"""
+
+from .common import DEFAULT_PS_GRID, CellResult, Scale, run_cell
+
+__all__ = ["DEFAULT_PS_GRID", "CellResult", "Scale", "run_cell"]

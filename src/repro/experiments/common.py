@@ -1,0 +1,113 @@
+"""Shared experiment machinery.
+
+Every reproduction experiment is a parameter sweep over the system
+parameter ``p_s`` (and one more axis: TTL, crash fraction, an
+enhancement toggle...).  :class:`Scale` fixes the workload size --
+``Scale.paper()`` matches the paper's setup (1,000 peers), while
+``Scale.quick()`` is the CI/benchmark size that preserves every
+qualitative shape at a fraction of the cost.  :func:`run_cell` executes
+one cell of a sweep and returns the standard metric bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence
+
+from ..core.config import HybridConfig
+from ..core.hybrid import HybridSystem
+from ..workloads.keys import KeyWorkload
+
+__all__ = ["Scale", "CellResult", "run_cell", "DEFAULT_PS_GRID"]
+
+# The paper sweeps p_s from 0 to 1; 0.99 stands in for the pure-
+# unstructured endpoint (p_s = 1 has no t-network to anchor s-networks,
+# the degenerate case the paper plots as "Gnutella").
+DEFAULT_PS_GRID: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload size of one experiment run."""
+
+    n_peers: int
+    n_keys: int
+    n_lookups: int
+    seed: int = 0
+    wave_size: int = 200
+
+    @classmethod
+    def paper(cls, seed: int = 0) -> "Scale":
+        """The paper's setup: 1,000-node topologies."""
+        return cls(n_peers=1000, n_keys=5000, n_lookups=5000, seed=seed)
+
+    @classmethod
+    def medium(cls, seed: int = 0) -> "Scale":
+        """Laptop-minutes scale; shapes match the paper run."""
+        return cls(n_peers=300, n_keys=1200, n_lookups=1200, seed=seed)
+
+    @classmethod
+    def quick(cls, seed: int = 0) -> "Scale":
+        """CI/benchmark scale (seconds per cell)."""
+        return cls(n_peers=120, n_keys=400, n_lookups=400, seed=seed)
+
+    def with_seed(self, seed: int) -> "Scale":
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Metrics of one sweep cell."""
+
+    p_s: float
+    failure_ratio: float
+    mean_latency: float
+    median_latency: float
+    connum: int
+    mean_contacts: float
+    successes: int
+    failures: int
+    n_t_peers: int
+    n_s_peers: int
+
+
+def run_cell(
+    config: HybridConfig,
+    scale: Scale,
+    crash_fraction: float = 0.0,
+    settle_after_crash: float = 30_000.0,
+    system_out: Optional[Dict[str, HybridSystem]] = None,
+) -> CellResult:
+    """Build + populate + (crash) + look up; return the metric bundle.
+
+    ``system_out["system"]`` receives the built system when a dict is
+    passed, for experiments that need to inspect more than the bundle.
+    """
+    system = HybridSystem(config, n_peers=scale.n_peers, seed=scale.seed)
+    system.build()
+    addresses = [p.address for p in system.alive_peers()]
+    workload = KeyWorkload.uniform(
+        scale.n_keys, addresses, system.rngs.stream("workload")
+    )
+    system.populate(workload.store_plan())
+    if crash_fraction > 0.0:
+        system.crash_random_fraction(crash_fraction)
+        system.settle(settle_after_crash)
+    alive = [p.address for p in system.alive_peers()]
+    pairs = workload.sample_lookups(scale.n_lookups, alive)
+    system.run_lookups(pairs, wave_size=scale.wave_size)
+    stats = system.query_stats()
+    if system_out is not None:
+        system_out["system"] = system
+    return CellResult(
+        p_s=config.p_s,
+        failure_ratio=stats.failure_ratio,
+        mean_latency=stats.mean_latency,
+        median_latency=stats.median_latency,
+        connum=stats.connum,
+        mean_contacts=stats.mean_contacts_per_lookup,
+        successes=stats.successes,
+        failures=stats.failures,
+        n_t_peers=len(system.t_peers()),
+        n_s_peers=len(system.s_peers()),
+    )

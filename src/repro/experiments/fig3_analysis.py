@@ -1,0 +1,78 @@
+"""Figure 3: the analytical join- and lookup-latency curves.
+
+Fig. 3a plots equation (1) (average join latency vs p_s for several
+degree caps δ); Fig. 3b plots the degree-constrained lookup-latency
+expression.  Both are closed forms -- this experiment evaluates them on
+the paper's grid and checks the shapes the paper reads off:
+
+* 3a: U-shaped, minimum around p_s 0.7-0.8, larger δ -> lower curve;
+* 3b: flat and δ-independent below p_s = 0.5, then decreasing, larger
+  δ -> shorter latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..analysis.curves import AnalyticCurve, fig3a_join_latency, fig3b_lookup_latency
+from ..metrics.report import format_series
+
+__all__ = ["Fig3Result", "run", "main"]
+
+DELTAS: Sequence[int] = (2, 3, 4, 5)
+
+
+@dataclass
+class Fig3Result:
+    """Both panels of Fig. 3."""
+
+    join: Dict[int, AnalyticCurve]  # delta -> curve (Fig. 3a)
+    lookup: Dict[int, AnalyticCurve]  # delta -> curve (Fig. 3b)
+
+    def optimal_ps(self, delta: int) -> float:
+        """Where the join latency bottoms out for a given delta."""
+        return self.join[delta].argmin()[0]
+
+
+def run(n_peers: int = 1000, ttl: int = 4, points: int = 99) -> Fig3Result:
+    """Evaluate both panels on the paper's parameters."""
+    return Fig3Result(
+        join=fig3a_join_latency(n_peers=n_peers, deltas=DELTAS, points=points),
+        lookup=fig3b_lookup_latency(
+            n_peers=n_peers, ttl=ttl, deltas=DELTAS, points=points
+        ),
+    )
+
+
+def main(n_peers: int = 1000, points: int = 11) -> str:
+    """Render both panels as tables (sampled grid) plus the optima."""
+    result = run(n_peers=n_peers, points=points)
+    grid = result.join[DELTAS[0]].p_s
+    parts = [
+        format_series(
+            "p_s",
+            [f"{x:.2f}" for x in grid],
+            {f"delta={d}": list(np.round(result.join[d].hops, 2)) for d in DELTAS},
+            title=f"Fig. 3a -- analytical average join latency (hops), N={n_peers}",
+        ),
+        "",
+        format_series(
+            "p_s",
+            [f"{x:.2f}" for x in grid],
+            {f"delta={d}": list(np.round(result.lookup[d].hops, 2)) for d in DELTAS},
+            title=f"Fig. 3b -- analytical average lookup latency (hops), N={n_peers}",
+        ),
+        "",
+        "join-latency optima: "
+        + ", ".join(
+            f"delta={d}: p_s*={result.optimal_ps(d):.2f}" for d in DELTAS
+        ),
+    ]
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,29 @@
+"""Measurement helpers.
+
+Items-per-peer distributions (:mod:`~repro.metrics.distributions`),
+trace-bus collectors (:mod:`~repro.metrics.collectors`), and plain-text
+table rendering for the experiment harness
+(:mod:`~repro.metrics.report`).
+"""
+
+from .collectors import EventCounter, JoinLatencyCollector, MembershipLog
+from .distributions import (
+    DistributionSummary,
+    gini,
+    items_pdf,
+    summarize_distribution,
+)
+from .report import format_grid, format_series, format_table
+
+__all__ = [
+    "EventCounter",
+    "JoinLatencyCollector",
+    "MembershipLog",
+    "DistributionSummary",
+    "gini",
+    "items_pdf",
+    "summarize_distribution",
+    "format_grid",
+    "format_series",
+    "format_table",
+]

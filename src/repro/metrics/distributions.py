@@ -1,0 +1,86 @@
+"""Data-distribution statistics (the Fig. 4 quantities).
+
+Fig. 4 plots the probability density function of the number of data
+items per peer under the two placement schemes.  This module turns a
+vector of per-peer item counts into that PDF plus the summary numbers
+the paper quotes (fraction of peers with no data, fraction below a
+count, the maximum), and provides an imbalance measure (Gini) for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["DistributionSummary", "items_pdf", "summarize_distribution", "gini"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary of an items-per-peer distribution."""
+
+    n_peers: int
+    total_items: int
+    mean: float
+    median: float
+    max: int
+    fraction_zero: float
+    fraction_below_10: float
+    fraction_below_20: float
+    gini: float
+
+    def __str__(self) -> str:
+        return (
+            f"peers={self.n_peers} items={self.total_items} "
+            f"zero={self.fraction_zero:.0%} max={self.max} gini={self.gini:.3f}"
+        )
+
+
+def items_pdf(counts: np.ndarray, n_bins: int = 40) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical PDF of items-per-peer (Fig. 4's curves).
+
+    Returns (bin_centers, density); density integrates to 1 over the
+    binned range.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.size == 0:
+        raise ValueError("empty counts")
+    hi = max(1.0, counts.max())
+    hist, edges = np.histogram(counts, bins=n_bins, range=(0.0, hi), density=True)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, hist
+
+
+def gini(counts: np.ndarray) -> float:
+    """Gini coefficient of the per-peer load (0 = perfectly even)."""
+    x = np.sort(np.asarray(counts, dtype=float))
+    if x.size == 0:
+        raise ValueError("empty counts")
+    total = x.sum()
+    if total == 0:
+        return 0.0
+    n = x.size
+    cum = np.cumsum(x)
+    # Standard formula: G = (n + 1 - 2 * sum(cum) / total) / n
+    return float((n + 1 - 2 * (cum / total).sum()) / n)
+
+
+def summarize_distribution(counts: np.ndarray) -> DistributionSummary:
+    """All the numbers the paper reads off Fig. 4."""
+    counts = np.asarray(counts, dtype=int)
+    if counts.size == 0:
+        raise ValueError("empty counts")
+    return DistributionSummary(
+        n_peers=int(counts.size),
+        total_items=int(counts.sum()),
+        mean=float(counts.mean()),
+        median=float(np.median(counts)),
+        max=int(counts.max()),
+        fraction_zero=float((counts == 0).mean()),
+        fraction_below_10=float((counts < 10).mean()),
+        fraction_below_20=float((counts < 20).mean()),
+        gini=gini(counts),
+    )

@@ -1,0 +1,70 @@
+"""Plain-text table/series rendering for the experiment harness.
+
+The benchmarks regenerate the paper's tables and figure series as text;
+these helpers keep the formatting in one place so every experiment
+prints comparable rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series", "format_grid"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """A figure rendered as a table: one x column, one column per curve."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def format_grid(
+    row_label: str,
+    row_values: Sequence[object],
+    col_label: str,
+    col_values: Sequence[object],
+    cells: Dict[object, Dict[object, object]],
+    title: str = "",
+) -> str:
+    """A 2-D table like the paper's Table 2 (p_s rows x TTL columns)."""
+    headers = [f"{row_label}\\{col_label}"] + [str(c) for c in col_values]
+    rows = []
+    for r in row_values:
+        rows.append([r] + [cells.get(r, {}).get(c, "-") for c in col_values])
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or value == int(value):
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,152 @@
+"""Access-link capacity model (link heterogeneity).
+
+Section 5.1 of the paper: peers have heterogeneous access links
+(dial-up / ADSL / cable), with up to 1000x spread between the fastest
+and slowest.  The simulation section then pins the experimental setup
+down: *"1/3 of the peers have the highest link capacities, 1/3 of them
+have the lowest link capacities, and 1/3 of them have the medium link
+capacities.  The highest link capacity is 10 times of the lowest link
+capacity."*
+
+This module assigns capacity classes to hosts and converts a message
+transfer into a delay: the transfer time of a message over an overlay
+hop is bounded by the slower of the two endpoint access links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["CapacityClass", "CapacityModel", "HeterogeneityConfig"]
+
+
+class CapacityClass(IntEnum):
+    """The three capacity tiers of the paper's simulation setup."""
+
+    LOW = 0
+    MEDIUM = 1
+    HIGH = 2
+
+
+@dataclass(frozen=True)
+class HeterogeneityConfig:
+    """Capacity assignment parameters.
+
+    ``ratio_high_to_low`` is 10 in the paper; the medium tier sits at the
+    geometric midpoint so each step is the same factor.
+    ``unit_capacity`` sets the absolute scale in message-size units per
+    millisecond.  The default makes a CONTROL_SIZE message cost ~20 ms
+    on the slowest access link and ~2 ms on the fastest -- comparable
+    to propagation delays, so link heterogeneity visibly shapes lookup
+    latency (the Fig. 6a effect).  Only ratios matter for the paper's
+    qualitative conclusions.
+    """
+
+    ratio_high_to_low: float = 10.0
+    unit_capacity: float = 0.05
+    fractions: Sequence[float] = (1 / 3, 1 / 3, 1 / 3)
+
+    def validate(self) -> None:
+        if self.ratio_high_to_low < 1:
+            raise ValueError("ratio_high_to_low must be >= 1")
+        if self.unit_capacity <= 0:
+            raise ValueError("unit_capacity must be positive")
+        if len(self.fractions) != 3:
+            raise ValueError("fractions must have exactly three entries")
+        if any(f < 0 for f in self.fractions):
+            raise ValueError("fractions must be non-negative")
+        if abs(sum(self.fractions) - 1.0) > 1e-9:
+            raise ValueError("fractions must sum to 1")
+
+    def capacity_of(self, cls: CapacityClass) -> float:
+        """Capacity value of a class (LOW = unit, HIGH = ratio * unit)."""
+        step = self.ratio_high_to_low ** 0.5
+        return self.unit_capacity * (step ** int(cls))
+
+
+class CapacityModel:
+    """Per-host access-link capacities.
+
+    Parameters
+    ----------
+    n_hosts:
+        Number of hosts to label.
+    rng:
+        Randomness for the (shuffled) class assignment.
+    config:
+        Tier ratios and fractions.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int,
+        rng: np.random.Generator,
+        config: HeterogeneityConfig | None = None,
+    ) -> None:
+        self.config = config or HeterogeneityConfig()
+        self.config.validate()
+        if n_hosts < 0:
+            raise ValueError("n_hosts must be non-negative")
+        counts = [int(round(f * n_hosts)) for f in self.config.fractions]
+        # Fix rounding drift on the last class.
+        counts[-1] = n_hosts - counts[0] - counts[1]
+        labels: List[CapacityClass] = (
+            [CapacityClass.LOW] * counts[0]
+            + [CapacityClass.MEDIUM] * counts[1]
+            + [CapacityClass.HIGH] * counts[2]
+        )
+        rng.shuffle(labels)  # type: ignore[arg-type]
+        self._classes = labels
+        self._capacity = [self.config.capacity_of(c) for c in labels]
+        self._rng = rng
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def ensure(self, n_hosts: int) -> None:
+        """Grow the model to cover at least ``n_hosts`` hosts.
+
+        New hosts draw a class from the configured fractions; used when
+        peers join dynamically after the initial population was sized.
+        """
+        while len(self._classes) < n_hosts:
+            u = float(self._rng.random())
+            f = self.config.fractions
+            if u < f[0]:
+                cls = CapacityClass.LOW
+            elif u < f[0] + f[1]:
+                cls = CapacityClass.MEDIUM
+            else:
+                cls = CapacityClass.HIGH
+            self._classes.append(cls)
+            self._capacity.append(self.config.capacity_of(cls))
+
+    def capacity_class(self, host: int) -> CapacityClass:
+        """Tier of ``host``."""
+        return self._classes[host]
+
+    def capacity(self, host: int) -> float:
+        """Access-link capacity of ``host`` (grows on demand)."""
+        if host >= len(self._capacity):
+            self.ensure(host + 1)
+        return float(self._capacity[host])
+
+    def transfer_delay(self, src: int, dst: int, size: float) -> float:
+        """Time to push ``size`` units over the hop ``src -> dst``.
+
+        The bottleneck is the slower endpoint access link -- the effect
+        Section 5.1 describes ("its download speed is upper bounded by
+        the download speed of the low link capacity peer").
+        """
+        if size < 0:
+            raise ValueError("message size must be non-negative")
+        bottleneck = min(self.capacity(src), self.capacity(dst))
+        return float(size / bottleneck)
+
+    def classes(self) -> List[CapacityClass]:
+        """Copy of the per-host class labels."""
+        return list(self._classes)

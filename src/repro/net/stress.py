@@ -1,0 +1,76 @@
+"""Per-physical-link stress accounting.
+
+Section 5.2 defines *link stress* as "the number of copies of a message
+transmitted over a certain physical link".  Topology mismatch (overlay
+neighbours that are physically distant) inflates stress; the binning
+enhancement is meant to reduce it.  The transport layer calls
+:meth:`LinkStress.record_path` for every overlay message it delivers,
+and experiments read the summary statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["LinkStress", "StressSummary"]
+
+
+@dataclass(frozen=True)
+class StressSummary:
+    """Aggregate view of link stress at a point in time."""
+
+    total_transmissions: int
+    links_used: int
+    max_stress: int
+    mean_stress: float
+    p95_stress: float
+
+    def __str__(self) -> str:
+        return (
+            f"transmissions={self.total_transmissions} links={self.links_used} "
+            f"max={self.max_stress} mean={self.mean_stress:.2f} p95={self.p95_stress:.1f}"
+        )
+
+
+class LinkStress:
+    """Counts message copies per physical link."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self.total_transmissions = 0
+
+    def record_path(self, path_edges: List[Tuple[int, int]]) -> None:
+        """Record one message copy over every link of a physical path."""
+        for edge in path_edges:
+            self._counts[edge] += 1
+        self.total_transmissions += len(path_edges)
+
+    def stress(self, u: int, v: int) -> int:
+        """Copies transmitted over physical link (u, v)."""
+        return self._counts[tuple(sorted((u, v)))]
+
+    def counts(self) -> Dict[Tuple[int, int], int]:
+        """Copy of the per-link counters."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._counts.clear()
+        self.total_transmissions = 0
+
+    def summary(self) -> StressSummary:
+        """Aggregate statistics over links that saw any traffic."""
+        if not self._counts:
+            return StressSummary(0, 0, 0, 0.0, 0.0)
+        values = np.fromiter(self._counts.values(), dtype=np.int64)
+        return StressSummary(
+            total_transmissions=self.total_transmissions,
+            links_used=len(values),
+            max_stress=int(values.max()),
+            mean_stress=float(values.mean()),
+            p95_stress=float(np.percentile(values, 95)),
+        )

@@ -1,0 +1,664 @@
+"""Message taxonomy of the hybrid protocol.
+
+Every overlay exchange in the system is one of the record types below.
+Messages carry the sender's address (filled in by the transport), a
+``size`` used by the heterogeneous-capacity delay model, and
+type-specific payload fields.
+
+Naming follows the paper's prose: ``TJoin*`` / ``TLeave*`` are the
+join/leave triangles of Section 3.3, ``SJoin*`` the degree-constrained
+tree join of Section 3.2.2, ``Hello``/``Ack`` the crash-detection
+heartbeats, and ``FloodQuery`` the Gnutella-style TTL flood.  Requests
+travelling along the t-network ring (``TJoinRequest``,
+``StoreRequest``, ``LookupRequest``) are re-sent hop by hop rather than
+wrapped: every t-peer re-evaluates ownership before forwarding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Message",
+    "CONTROL_SIZE",
+    "ITEM_SIZE",
+    # server
+    "ServerJoin",
+    "ServerJoinReply",
+    "CrashReport",
+    "PromoteToTPeer",
+    # t-network membership
+    "TJoinRequest",
+    "TJoinSetNeighbors",
+    "TJoinNotifySuccessor",
+    "TJoinAck",
+    "TLeaveRequest",
+    "TLeaveToPre",
+    "TLeaveToSuc",
+    "TLeaveAck",
+    "FingerSubstitute",
+    "RoleHandoff",
+    "RoleHandoffAck",
+    # s-network membership
+    "SJoinRequest",
+    "SJoinAccept",
+    "SLeaveNotify",
+    "SRejoinRequest",
+    # liveness
+    "Hello",
+    "Ack",
+    # data plane
+    "StoreRequest",
+    "StoreAck",
+    "SpreadStore",
+    "LookupRequest",
+    "FloodQuery",
+    "WalkQuery",
+    "PartialQuery",
+    "PartialResult",
+    "DataFound",
+    "LoadTransfer",
+    "LoadTransferAck",
+    "CollectLoad",
+    "SegmentGrow",
+    "TPeerUpdate",
+    "RingRepairRequest",
+    "RingRepairReply",
+    "RingNotify",
+    "RejoinRedirect",
+    "ServerUpdate",
+    "CachePush",
+    "ReplicaPush",
+    "BTRegister",
+    "BTLookup",
+    "BTLookupReply",
+    "BTFetch",
+]
+
+# Nominal message sizes (in abstract size units consumed by the
+# capacity model).  Control traffic is small; each data item adds
+# ITEM_SIZE.  Only ratios matter.
+CONTROL_SIZE: float = 1.0
+ITEM_SIZE: float = 10.0
+
+
+@dataclass
+class Message:
+    """Base class: transport metadata common to all messages."""
+
+    # Filled by the transport on send; -1 means "not yet sent".
+    sender: int = field(default=-1, init=False)
+    hop_count: int = field(default=0, init=False)
+
+    @property
+    def size(self) -> float:
+        """Size in abstract units; overridden by bulk messages."""
+        return CONTROL_SIZE
+
+
+# ----------------------------------------------------------------------
+# Bootstrap server exchanges (Section 3.2)
+# ----------------------------------------------------------------------
+@dataclass
+class ServerJoin(Message):
+    """New peer asks the well-known server to join the system."""
+
+    address: int = 0
+    capacity: float = 1.0
+    interest: Optional[str] = None
+    coordinate: Optional[Tuple[int, ...]] = None  # landmark bin (Section 5.2)
+
+
+@dataclass
+class ServerJoinReply(Message):
+    """Server's answer: assigned role, id material and an entry peer."""
+
+    role: str = "s"  # "t" or "s"
+    p_id: int = 0
+    entry_peer: int = -1  # address of existing peer to contact (-1: first peer)
+    landmarks: Tuple[int, ...] = ()
+
+
+@dataclass
+class CrashReport(Message):
+    """A peer reports a suspected crashed neighbor to the server.
+
+    For a crashed t-peer, disconnected s-peers "compete to replace the
+    crashed t-peer by sending messages to the server" -- this is that
+    message.
+    """
+
+    crashed: int = -1
+    reporter: int = -1
+    reporter_is_speer: bool = True
+
+
+@dataclass
+class PromoteToTPeer(Message):
+    """Server tells the winning s-peer to take over a crashed t-peer."""
+
+    crashed: int = -1
+    p_id: int = 0
+    predecessor: int = -1
+    predecessor_pid: int = 0
+    successor: int = -1
+    successor_pid: int = 0
+
+
+# ----------------------------------------------------------------------
+# t-network membership (Sections 3.2.1, 3.3)
+# ----------------------------------------------------------------------
+@dataclass
+class TJoinRequest(Message):
+    """Join request forwarded along the ring to the insertion point."""
+
+    new_address: int = 0
+    new_pid: int = 0
+
+
+@dataclass
+class TJoinSetNeighbors(Message):
+    """Leg 1 of the join triangle: pre -> new, carrying suc's address."""
+
+    pre: int = -1
+    pre_pid: int = 0
+    suc: int = -1
+    suc_pid: int = 0
+    assigned_pid: int = 0
+
+
+@dataclass
+class TJoinNotifySuccessor(Message):
+    """Leg 2 of the join triangle: new -> suc."""
+
+    new_address: int = 0
+    new_pid: int = 0
+    pre: int = -1
+
+
+@dataclass
+class TJoinAck(Message):
+    """Leg 3 of the join triangle: suc -> pre, completing the join."""
+
+    new_address: int = 0
+
+
+@dataclass
+class TLeaveRequest(Message):
+    """Internal kick-off for a voluntary t-peer leave (self-addressed)."""
+
+
+@dataclass
+class TLeaveToPre(Message):
+    """Leg 1 of the leave triangle: leaver -> pre, carrying suc."""
+
+    leaver: int = -1
+    suc: int = -1
+    suc_pid: int = 0
+
+
+@dataclass
+class TLeaveToSuc(Message):
+    """Leg 2 of the leave triangle: pre -> suc, naming the leaver."""
+
+    leaver: int = -1
+    pre: int = -1
+    pre_pid: int = 0
+
+
+@dataclass
+class TLeaveAck(Message):
+    """Leg 3 of the leave triangle: suc -> leaver."""
+
+
+@dataclass
+class FingerSubstitute(Message):
+    """Replace ``old`` with ``new`` in finger tables (role handoff).
+
+    The headline maintenance saving of the hybrid design: substitution
+    keeps t-peer positions unchanged, so fingers need a pointer swap,
+    never recomputation.
+    """
+
+    old: int = -1
+    new: int = -1
+    origin: int = -1  # initiator of a ring circulation
+    circulate: bool = False  # forward around the ring (finger mode)
+
+
+@dataclass
+class RoleHandoff(Message):
+    """A leaving t-peer transfers its role to a chosen s-peer.
+
+    Carries the full t-peer state: ring pointers, finger table, data
+    items, and the s-network neighbor list.
+    """
+
+    p_id: int = 0
+    predecessor: int = -1
+    predecessor_pid: int = 0
+    successor: int = -1
+    successor_pid: int = 0
+    fingers: Tuple[Tuple[int, int], ...] = ()  # (pid, address) pairs
+    items: Tuple[Tuple[str, Any, int], ...] = ()  # (key, value, d_id)
+    s_neighbors: Tuple[int, ...] = ()
+
+    @property
+    def size(self) -> float:
+        return CONTROL_SIZE + ITEM_SIZE * len(self.items)
+
+
+@dataclass
+class RoleHandoffAck(Message):
+    """New t-peer confirms the handoff to the leaving t-peer."""
+
+
+# ----------------------------------------------------------------------
+# s-network membership (Section 3.2.2)
+# ----------------------------------------------------------------------
+@dataclass
+class SJoinRequest(Message):
+    """Join request walking a random branch until degree < delta."""
+
+    new_address: int = 0
+
+
+@dataclass
+class SJoinAccept(Message):
+    """Connect point accepts the new s-peer.
+
+    Carries the s-network's t-peer address and the shared ``p_id`` ("the
+    p_id of the s-peer is the same as its neighbor").
+    """
+
+    cp: int = -1
+    t_peer: int = -1
+    p_id: int = 0
+    segment_lo: int = 0  # lower (exclusive) bound of the s-network's segment
+
+
+@dataclass
+class SLeaveNotify(Message):
+    """Graceful s-peer leave notification to each neighbor."""
+
+    leaver: int = -1
+
+
+@dataclass
+class SRejoinRequest(Message):
+    """A disconnected s-peer (cp left/crashed) rejoins via the t-peer.
+
+    Carries the requester's ``p_id`` so the bootstrap server can route
+    retries to whoever currently anchors that segment when the cached
+    ``t_peer`` pointer has gone stale (the anchor departed or was
+    replaced while the requester was disconnected).
+    """
+
+    new_address: int = 0
+    p_id: int = 0
+
+
+# ----------------------------------------------------------------------
+# Liveness (Section 3.2.2)
+# ----------------------------------------------------------------------
+@dataclass
+class Hello(Message):
+    """Periodic heartbeat to a neighbor."""
+
+
+@dataclass
+class Ack(Message):
+    """Acknowledgment of a data query; doubles as a liveness proof."""
+
+    query_id: int = -1
+
+
+# ----------------------------------------------------------------------
+# Data plane (Section 3.4)
+# ----------------------------------------------------------------------
+@dataclass
+class StoreRequest(Message):
+    """Insert a (key, value) item; forwarded along the ring if remote."""
+
+    key: str = ""
+    value: Any = None
+    d_id: int = 0
+    origin: int = -1
+
+    @property
+    def size(self) -> float:
+        return CONTROL_SIZE + ITEM_SIZE
+
+
+@dataclass
+class SpreadStore(Message):
+    """Placement scheme 2: random spreading among t-peer's neighbors."""
+
+    key: str = ""
+    value: Any = None
+    d_id: int = 0
+    origin: int = -1
+
+    @property
+    def size(self) -> float:
+        return CONTROL_SIZE + ITEM_SIZE
+
+
+@dataclass
+class LookupRequest(Message):
+    """Lookup travelling the ring toward the owning segment."""
+
+    d_id: int = 0
+    key: str = ""
+    origin: int = -1
+    query_id: int = -1
+    ttl: int = 0  # flood radius to use in the destination s-network
+    attempt: int = 0  # reflood counter (re-keys flood deduplication)
+
+
+@dataclass
+class FloodQuery(Message):
+    """TTL-bounded flood inside an s-network tree."""
+
+    d_id: int = 0
+    key: str = ""
+    origin: int = -1
+    query_id: int = -1
+    ttl: int = 0
+    attempt: int = 0  # reflood counter (re-keys flood deduplication)
+
+
+@dataclass
+class WalkQuery(Message):
+    """A random walker inside an s-network (alternative to flooding).
+
+    Forwarded to ONE random tree neighbor per hop until the item is
+    found or the hop budget runs out (Section 1 names random walks as
+    the other unstructured search primitive).
+    """
+
+    d_id: int = 0
+    key: str = ""
+    origin: int = -1
+    query_id: int = -1
+    ttl: int = 0
+
+
+@dataclass
+class PartialQuery(Message):
+    """Keyword/prefix search flood (Section 5.3).
+
+    "Interest-based s-network is also useful for partial/keyword search
+    ...  the partial search is conducted in the corresponding s-network
+    similar to that in other unstructured peer-to-peer networks."
+    Matching is key-prefix; every holder replies with all its matches.
+    """
+
+    prefix: str = ""
+    origin: int = -1
+    query_id: int = -1
+    ttl: int = 0
+
+
+@dataclass
+class PartialResult(Message):
+    """One peer's matches for a partial search."""
+
+    query_id: int = -1
+    matches: Tuple[Tuple[str, Any], ...] = ()
+    holder: int = -1
+
+    @property
+    def size(self) -> float:
+        return CONTROL_SIZE + ITEM_SIZE * len(self.matches)
+
+
+@dataclass
+class DataFound(Message):
+    """Positive lookup answer sent directly to the querying peer.
+
+    Carries the holder's s-network identity (``holder_pid`` plus its
+    segment's lower bound) so bypass rule 3 (Section 5.4) can add a
+    shortcut for future lookups into that segment.
+    """
+
+    query_id: int = -1
+    key: str = ""
+    value: Any = None
+    holder: int = -1
+    holder_pid: int = 0
+    holder_pred_pid: int = 0
+
+    @property
+    def size(self) -> float:
+        return CONTROL_SIZE + ITEM_SIZE
+
+
+@dataclass
+class LoadTransfer(Message):
+    """Bulk movement of data items (join load transfer / load dump).
+
+    ``transfer_id >= 0`` requests an acknowledgment: departure-time
+    dumps are acked and retried so simultaneous leaves cannot silently
+    destroy the handed-over data.
+    """
+
+    items: Tuple[Tuple[str, Any, int], ...] = ()  # (key, value, d_id)
+    reason: str = "join"
+    transfer_id: int = -1
+    # Where the ack belongs when the dump was relayed (server fallback).
+    origin: int = -1
+
+    @property
+    def size(self) -> float:
+        return CONTROL_SIZE + ITEM_SIZE * len(self.items)
+
+
+@dataclass
+class StoreAck(Message):
+    """Final holder confirms a store to the originating peer.
+
+    Only sent when bypass links (Section 5.4) are enabled: rule 2 adds a
+    bypass link between the originator and the holder when they sit in
+    different s-networks, so the originator must learn who the holder
+    ended up being.  Carries the holder's s-network identity (its
+    ``p_id`` and the segment boundary) so the originator can route
+    future lookups for that segment over the bypass.
+    """
+
+    key: str = ""
+    holder: int = -1
+    holder_pid: int = 0
+    holder_pred_pid: int = 0
+
+
+@dataclass
+class LoadTransferAck(Message):
+    """Receipt for an acked LoadTransfer (departure-time dumps)."""
+
+    transfer_id: int = -1
+
+
+@dataclass
+class CollectLoad(Message):
+    """Load-transfer instruction flooded through an s-network tree.
+
+    After a t-peer join completes, the successor's whole s-network must
+    hand over items in the new peer's segment (Table 1's
+    ``loadtransfer`` loops over "each peer in the current s-network").
+    This message carries the segment bounds and the new owner's address;
+    every receiving member extracts matching items and ships them via
+    :class:`LoadTransfer`.
+    """
+
+    new_address: int = -1
+    new_pid: int = 0
+    pred_pid: int = 0
+
+
+@dataclass
+class SegmentGrow(Message):
+    """s-network-wide notice that the segment's lower bound moved down.
+
+    Sent when the predecessor t-peer leaves or is excised: the departed
+    segment merges into this s-network, so members widen their local
+    ownership test.  Flooded down the tree.
+    """
+
+    new_lo: int = 0
+
+
+@dataclass
+class TPeerUpdate(Message):
+    """s-network-wide notice that the anchoring t-peer changed.
+
+    Flooded through the tree after a role handoff or crash promotion.
+    Receivers repoint their ``t_peer`` pointer (and their ``cp`` if it
+    was the departed t-peer).
+    """
+
+    new_t: int = -1
+    old_t: int = -1
+
+
+@dataclass
+class RingRepairRequest(Message):
+    """A t-peer asks the server for fresh ring pointers.
+
+    Used when a ring neighbor crashed and no s-peer exists to promote
+    (empty s-network): the server is the only party that still knows the
+    ring order.
+    """
+
+    suspect: int = -1
+
+
+@dataclass
+class RingRepairReply(Message):
+    """Server's authoritative answer to a ring repair request."""
+
+    predecessor: int = -1
+    predecessor_pid: int = 0
+    successor: int = -1
+    successor_pid: int = 0
+
+
+@dataclass
+class RingNotify(Message):
+    """Chord-style notify: "I am your ring neighbor at this p_id".
+
+    Sent by a freshly promoted t-peer to the neighbors the server's
+    authoritative directory names, so that *concurrent adjacent*
+    handoffs converge: an announcement addressed to a departed old
+    address is simply dropped, and the later handoff's notify fixes the
+    earlier peer's stale pointer.  ``claim`` is "pred" ("I am your
+    predecessor") or "suc".
+    """
+
+    p_id: int = 0
+    claim: str = "pred"
+
+
+@dataclass
+class RejoinRedirect(Message):
+    """Server points a losing crash reporter at the replacement t-peer.
+
+    The disconnected s-peers that did not win the election rejoin the
+    s-network through the promoted peer.
+    """
+
+    new_t: int = -1
+
+
+@dataclass
+class ServerUpdate(Message):
+    """Registry maintenance notice to the bootstrap server.
+
+    The server keeps an authoritative view of t-network membership (it
+    generated every ``p_id``) and of s-network sizes so it can balance
+    assignments and arbitrate crash replacements.  ``kind`` is one of
+    ``t_join``, ``t_leave``, ``t_handoff``, ``s_join``, ``s_leave``.
+    """
+
+    kind: str = ""
+    address: int = -1
+    p_id: int = 0
+    extra: int = -1  # handoff: old address; s_join/s_leave: t-peer address
+
+
+@dataclass
+class CachePush(Message):
+    """Origin hands a freshly fetched popular item to its t-peer.
+
+    Part of the caching scheme (the paper's future work): the t-peer
+    becomes a surrogate, answering future remote lookups from this
+    whole s-network before they reach the ring.
+    """
+
+    key: str = ""
+    value: Any = None
+    d_id: int = 0
+
+    @property
+    def size(self) -> float:
+        return CONTROL_SIZE + ITEM_SIZE
+
+
+@dataclass
+class ReplicaPush(Message):
+    """A durable extra copy of an item (replication extension).
+
+    Walks downward like :class:`SpreadStore` but the receiving peer
+    *keeps* the copy instead of coin-flipping, and ``remaining`` further
+    replicas continue from there.
+    """
+
+    key: str = ""
+    value: Any = None
+    d_id: int = 0
+    remaining: int = 0
+
+    @property
+    def size(self) -> float:
+        return CONTROL_SIZE + ITEM_SIZE
+
+
+# ----------------------------------------------------------------------
+# BitTorrent-style s-network (Section 5.5)
+# ----------------------------------------------------------------------
+@dataclass
+class BTRegister(Message):
+    """s-peer reports a newly stored item to its tracker t-peer."""
+
+    key: str = ""
+    d_id: int = 0
+    holder: int = -1
+
+
+@dataclass
+class BTLookup(Message):
+    """Lookup sent directly to the tracker t-peer (no flooding)."""
+
+    d_id: int = 0
+    key: str = ""
+    origin: int = -1
+    query_id: int = -1
+
+
+@dataclass
+class BTLookupReply(Message):
+    """Tracker's answer: which peer holds the item (-1 = not found)."""
+
+    query_id: int = -1
+    key: str = ""
+    holder: int = -1
+
+
+@dataclass
+class BTFetch(Message):
+    """Origin fetches the item directly from the holder."""
+
+    key: str = ""
+    origin: int = -1
+    query_id: int = -1

@@ -1,0 +1,113 @@
+"""Base peer machinery shared by all overlay nodes.
+
+A :class:`BasePeer` owns a mailbox dispatch table (message class ->
+``on_<ClassName>`` method discovered by reflection), a data store, and
+its attachment to a physical host.  The hybrid peer, the Chord baseline
+peer and the Gnutella baseline peer all inherit from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Type
+
+from ..sim.engine import Engine
+from ..sim.trace import TraceBus
+from .idspace import IdSpace
+from .messages import Message
+from .transport import Transport
+
+__all__ = ["BasePeer"]
+
+
+class BasePeer:
+    """An addressable protocol participant.
+
+    Parameters
+    ----------
+    address:
+        Unique overlay address (stand-in for an IP).
+    host:
+        Physical node this peer resides on.
+    engine, transport, idspace:
+        Shared simulation plumbing.
+    trace:
+        Optional trace bus for metrics/tests.
+
+    Subclasses implement handlers named ``on_<MessageClassName>``; the
+    dispatch table is built once per class and cached.
+    """
+
+    _dispatch_cache: Dict[type, Dict[str, str]] = {}
+
+    def __init__(
+        self,
+        address: int,
+        host: int,
+        engine: Engine,
+        transport: Transport,
+        idspace: IdSpace,
+        trace: Optional[TraceBus] = None,
+    ) -> None:
+        self.address = address
+        self.host = host
+        self.engine = engine
+        self.transport = transport
+        self.idspace = idspace
+        self.trace = trace
+        self.alive = True
+        self.messages_received = 0
+        self._dispatch = self._build_dispatch()
+
+    # ------------------------------------------------------------------
+    def _build_dispatch(self) -> Dict[str, str]:
+        cls = type(self)
+        cached = BasePeer._dispatch_cache.get(cls)
+        if cached is None:
+            cached = {
+                name[3:]: name
+                for name in dir(cls)
+                if name.startswith("on_") and callable(getattr(cls, name))
+            }
+            BasePeer._dispatch_cache[cls] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def send(self, dst_address: int, msg: Message) -> bool:
+        """Send a message through the transport."""
+        return self.transport.send(self, dst_address, msg)
+
+    def receive(self, msg: Message) -> None:
+        """Dispatch an incoming message to its ``on_*`` handler."""
+        if not self.alive:
+            return
+        self.messages_received += 1
+        handler_name = self._dispatch.get(type(msg).__name__)
+        if handler_name is None:
+            self.unhandled(msg)
+            return
+        getattr(self, handler_name)(msg)
+
+    def unhandled(self, msg: Message) -> None:
+        """Hook for messages with no handler; loud by default.
+
+        Protocol bugs where a peer in the wrong role receives a message
+        should fail fast in tests rather than vanish.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} at {self.address} has no handler for "
+            f"{type(msg).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    def emit(self, category: str, **payload: Any) -> None:
+        """Publish a trace record (no-op without an active bus)."""
+        if self.trace is not None and self.trace.active:
+            self.trace.publish(self.engine.now, category, peer=self.address, **payload)
+
+    def crash(self) -> None:
+        """Die abruptly: no notifications, in-flight messages undeliverable."""
+        self.alive = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "up" if self.alive else "down"
+        return f"<{type(self).__name__} addr={self.address} host={self.host} {state}>"

@@ -1,0 +1,163 @@
+"""Overlay message transport.
+
+Delivers messages between overlay actors (peers, the bootstrap server)
+over the physical network: each overlay hop corresponds to the physical
+shortest path between the two hosts, so its delay is
+
+``path propagation latency + message size / bottleneck access capacity``
+
+(the second term only when a capacity model is installed; Section 5.1).
+
+Messages to dead or unknown addresses are silently dropped -- that is
+exactly how a crashed peer manifests to the rest of the system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Protocol
+
+from ..net.routing import Router
+from ..net.stress import LinkStress
+from ..sim.engine import Engine
+from ..sim.trace import TraceBus
+from .messages import Message
+
+__all__ = ["Actor", "Transport"]
+
+
+class Actor(Protocol):
+    """Anything addressable on the overlay."""
+
+    address: int
+    host: int
+    alive: bool
+
+    def receive(self, msg: Message) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Transport:
+    """Address registry + delay model + delivery scheduler.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine used for delayed delivery.
+    router:
+        Physical routing table; when None every hop costs
+        ``default_latency`` (useful for protocol unit tests).
+    capacity_of:
+        Optional map from actor address to access-link capacity; enables
+        the heterogeneity-aware transfer-delay term.
+    stress:
+        Optional link-stress accountant (records every physical link a
+        message crosses); implies per-message path extraction, so leave
+        it off for large sweeps unless stress is being measured.
+    trace:
+        Optional trace bus; publishes a ``transport.send`` record per
+        message when active.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        router: Optional[Router] = None,
+        capacity_of: Optional[Callable[[int], float]] = None,
+        stress: Optional[LinkStress] = None,
+        trace: Optional[TraceBus] = None,
+        default_latency: float = 1.0,
+        min_latency: float = 0.05,
+    ) -> None:
+        if default_latency <= 0 or min_latency <= 0:
+            raise ValueError("latencies must be positive")
+        self._engine = engine
+        self._router = router
+        self._capacity_of = capacity_of
+        self._stress = stress
+        self._trace = trace
+        self.default_latency = default_latency
+        self.min_latency = min_latency
+        self._actors: Dict[int, Actor] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, actor: Actor) -> None:
+        """Make ``actor`` reachable at ``actor.address``."""
+        if actor.address in self._actors:
+            raise ValueError(f"address {actor.address} already registered")
+        self._actors[actor.address] = actor
+
+    def unregister(self, address: int) -> None:
+        """Remove an actor (it stops receiving even in-flight messages)."""
+        self._actors.pop(address, None)
+
+    def actor(self, address: int) -> Optional[Actor]:
+        """The actor at ``address``, or None."""
+        return self._actors.get(address)
+
+    def is_reachable(self, address: int) -> bool:
+        actor = self._actors.get(address)
+        return actor is not None and actor.alive
+
+    def __len__(self) -> int:
+        return len(self._actors)
+
+    # ------------------------------------------------------------------
+    # Delay model
+    # ------------------------------------------------------------------
+    def delay(self, src: Actor, dst: Actor, size: float) -> float:
+        """Delivery delay for a message of ``size`` between two actors."""
+        if self._router is not None:
+            prop = self._router.latency(src.host, dst.host)
+        else:
+            prop = self.default_latency
+        prop = max(prop, self.min_latency)
+        if self._capacity_of is not None:
+            bottleneck = min(
+                self._capacity_of(src.address), self._capacity_of(dst.address)
+            )
+            prop += size / bottleneck
+        return prop
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def send(self, src: Actor, dst_address: int, msg: Message) -> bool:
+        """Schedule delivery of ``msg`` from ``src`` to ``dst_address``.
+
+        Returns False (and drops the message) when the destination is
+        unknown or dead at send time; delivery is also suppressed if the
+        destination dies while the message is in flight.
+        """
+        self.messages_sent += 1
+        dst = self._actors.get(dst_address)
+        if dst is None or not dst.alive:
+            self.messages_dropped += 1
+            return False
+        msg.sender = src.address
+        delay = self.delay(src, dst, msg.size)
+        if self._stress is not None and self._router is not None:
+            self._stress.record_path(self._router.path_edges(src.host, dst.host))
+        if self._trace is not None and self._trace.active:
+            self._trace.publish(
+                self._engine.now,
+                "transport.send",
+                src=src.address,
+                dst=dst_address,
+                kind=type(msg).__name__,
+                delay=delay,
+            )
+        self._engine.call_later(delay, self._deliver, dst_address, msg)
+        return True
+
+    def _deliver(self, dst_address: int, msg: Message) -> None:
+        dst = self._actors.get(dst_address)
+        if dst is None or not dst.alive:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        dst.receive(msg)

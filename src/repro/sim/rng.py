@@ -1,0 +1,86 @@
+"""Seeded random-number streams.
+
+Every source of randomness in the reproduction flows through a named
+stream derived from a single root seed, so that (a) whole experiments
+are bit-reproducible and (b) changing how one subsystem consumes
+randomness (e.g. the churn schedule) does not perturb another (e.g. the
+topology), which keeps A/B comparisons between configurations honest.
+
+Streams are ``numpy.random.Generator`` instances spawned from a
+``SeedSequence`` keyed by the stream name, mirroring the recommended
+NumPy practice for parallel/independent streams.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+__all__ = ["RngRegistry", "stable_hash32"]
+
+
+def stable_hash32(text: str) -> int:
+    """Map a string to a stable 32-bit integer (CRC32).
+
+    Python's builtin :func:`hash` is salted per process, so it cannot key
+    seed material.  CRC32 is stable across runs and platforms and is
+    plenty for distinguishing stream names.
+    """
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class RngRegistry:
+    """A factory of named, independent random streams.
+
+    Parameters
+    ----------
+    root_seed:
+        The experiment-level seed.  Two registries with the same root
+        seed hand out identical streams for identical names.
+
+    Example
+    -------
+    >>> rngs = RngRegistry(42)
+    >>> a = rngs.stream("churn")
+    >>> b = RngRegistry(42).stream("churn")
+    >>> bool(a.integers(1 << 30) == b.integers(1 << 30))
+    True
+    """
+
+    def __init__(self, root_seed: int = 0) -> None:
+        if root_seed < 0:
+            raise ValueError("root_seed must be non-negative")
+        self.root_seed = int(root_seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the *same* generator
+        object (and therefore a single advancing stream), which is what
+        protocol code wants.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            seq = np.random.SeedSequence([self.root_seed, stable_hash32(name)])
+            gen = np.random.default_rng(seq)
+            self._streams[name] = gen
+        return gen
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a brand-new generator for ``name`` (not cached).
+
+        Useful in tests that want to replay a stream from its origin.
+        """
+        seq = np.random.SeedSequence([self.root_seed, stable_hash32(name)])
+        return np.random.default_rng(seq)
+
+    def names(self) -> List[str]:
+        """Names of streams created so far (sorted)."""
+        return sorted(self._streams)
+
+    def spawn(self, names: Iterable[str]) -> Dict[str, np.random.Generator]:
+        """Materialise several streams at once (convenience)."""
+        return {name: self.stream(name) for name in names}

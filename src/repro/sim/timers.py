@@ -1,0 +1,155 @@
+"""Resettable timers built on the event engine.
+
+The hybrid P2P protocol in the paper is timer-heavy: HELLO heartbeat
+timers, per-neighbor crash-detection timeouts, lookup expiration timers
+with TTL re-flooding, acknowledgment timers, and the acknowledgment
+*suppress* timer of Section 3.2.2.  All of them share the same shape --
+"fire a callback unless reset/cancelled first" -- captured here by
+:class:`Timer`, with :class:`PeriodicTimer` layering repetition on top.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .engine import Engine, Event
+
+__all__ = ["Timer", "PeriodicTimer"]
+
+
+class Timer:
+    """A one-shot timer that can be reset before it expires.
+
+    Mirrors the paper's neighbor timeout: every HELLO (or acknowledgment)
+    message resets the timer; if it ever fires, the neighbor is declared
+    crashed.
+
+    Parameters
+    ----------
+    engine:
+        The event engine that provides time.
+    timeout:
+        Duration from (re)start to expiry.
+    on_expire:
+        Callback invoked (with no arguments) when the timer fires.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        timeout: float,
+        on_expire: Callable[[], Any],
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timer timeout must be positive, got {timeout}")
+        self._engine = engine
+        self.timeout = timeout
+        self._on_expire = on_expire
+        self._event: Optional[Event] = None
+        self._expired = False
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True while the timer is armed and has not fired."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def expired(self) -> bool:
+        """True once the timer has fired (until the next start/reset)."""
+        return self._expired
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute expiry time, or None when not running."""
+        if self._event is not None and self._event.pending:
+            return self._event.time
+        return None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the timer ``timeout`` from now (restarts if running)."""
+        self.cancel()
+        self._expired = False
+        self._event = self._engine.call_later(self.timeout, self._fire)
+
+    def reset(self) -> None:
+        """Push the deadline back to ``now + timeout``.
+
+        Equivalent to :meth:`start`; named separately to match protocol
+        prose ("the timer is reset on receiving a HELLO message").
+        """
+        self.start()
+
+    def cancel(self) -> None:
+        """Disarm the timer without firing it."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._expired = True
+        self._on_expire()
+
+
+class PeriodicTimer:
+    """A timer that fires every ``period`` until stopped.
+
+    Used for the HELLO heartbeat broadcast.  Supports :meth:`defer`,
+    which skips/postpones the next scheduled firing -- this implements
+    the paper's bandwidth optimisation where a pending HELLO is cancelled
+    when an acknowledgment message has recently proven liveness.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        period: float,
+        on_tick: Callable[[], Any],
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"timer period must be positive, got {period}")
+        self._engine = engine
+        self.period = period
+        self._on_tick = on_tick
+        self._event: Optional[Event] = None
+        self._stopped = True
+        self.ticks = 0
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self) -> None:
+        """Begin ticking; first tick is one full period from now."""
+        self.stop()
+        self._stopped = False
+        self._event = self._engine.call_later(self.period, self._fire)
+
+    def stop(self) -> None:
+        """Stop ticking."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def defer(self) -> None:
+        """Postpone the next tick to a full period from now.
+
+        In the paper, receiving/sending an acknowledgment cancels the
+        scheduled HELLO message to save bandwidth; liveness has already
+        been demonstrated, so the heartbeat restarts its countdown.
+        """
+        if not self._stopped:
+            if self._event is not None:
+                self._event.cancel()
+            self._event = self._engine.call_later(self.period, self._fire)
+
+    def _fire(self) -> None:
+        self._event = None
+        self.ticks += 1
+        self._on_tick()
+        # on_tick may have called stop() (or start(), which re-arms).
+        if not self._stopped and self._event is None:
+            self._event = self._engine.call_later(self.period, self._fire)

@@ -1,0 +1,23 @@
+"""Synthetic workload substrate.
+
+Key universes and popularity samplers (:mod:`~repro.workloads.keys`),
+churn schedules (:mod:`~repro.workloads.churn`), and canned end-to-end
+scenarios (:mod:`~repro.workloads.scenarios`).
+"""
+
+from .churn import ChurnEvent, PoissonChurn, apply_churn, crash_fraction_schedule
+from .keys import KeyWorkload, interest_keys, zipf_weights
+from .scenarios import ScenarioResult, interest_sharing, standard_sharing
+
+__all__ = [
+    "ChurnEvent",
+    "PoissonChurn",
+    "apply_churn",
+    "crash_fraction_schedule",
+    "KeyWorkload",
+    "interest_keys",
+    "zipf_weights",
+    "ScenarioResult",
+    "interest_sharing",
+    "standard_sharing",
+]

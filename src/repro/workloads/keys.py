@@ -1,0 +1,163 @@
+"""Synthetic data-sharing workloads.
+
+The paper's evaluation uses generated data ("Data is generated and
+inserted to the system by peers ... we assume that the data are
+inserted to the system before it is looked up").  This module provides
+the generators the experiments draw from:
+
+* :class:`KeyWorkload` -- a universe of keys, each assigned to a random
+  originating peer; lookups drawn uniformly or Zipf-weighted (file-
+  sharing popularity is famously heavy-tailed [refs 21, 22]);
+* interest-category keys (``"category:name"``) for the Section 5.3
+  experiments, aligned with :class:`~repro.overlay.idspace.ClusteredIdSpace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["KeyWorkload", "zipf_weights", "interest_keys"]
+
+
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalized Zipf(s) probabilities over ranks 1..n (s=0: uniform)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if s < 0:
+        raise ValueError("s must be >= 0")
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks ** (-s)
+    return w / w.sum()
+
+
+def interest_keys(category: str, count: int, start: int = 0) -> List[str]:
+    """Keys for one interest category (``"music:item-3"`` style)."""
+    if ":" in category:
+        raise ValueError("category must not contain ':'")
+    return [f"{category}:item-{i}" for i in range(start, start + count)]
+
+
+@dataclass
+class KeyWorkload:
+    """A fixed key universe with originators and a lookup sampler.
+
+    Parameters
+    ----------
+    keys:
+        The key universe (store exactly once each).
+    originators:
+        Peer address that generates each key (parallel to ``keys``).
+    rng:
+        Sampler randomness.
+    zipf_s:
+        Popularity skew for lookups; 0 = uniform (the paper's base
+        workload is unspecified, uniform is the neutral choice).
+    """
+
+    keys: List[str]
+    originators: List[int]
+    rng: np.random.Generator
+    zipf_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.keys) != len(self.originators):
+            raise ValueError("keys and originators must be parallel lists")
+        if not self.keys:
+            raise ValueError("workload must contain at least one key")
+        self._weights = zipf_weights(len(self.keys), self.zipf_s)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        n_keys: int,
+        peer_addresses: Sequence[int],
+        rng: np.random.Generator,
+        zipf_s: float = 0.0,
+        prefix: str = "key",
+    ) -> "KeyWorkload":
+        """``n_keys`` unique keys, originators drawn uniformly."""
+        if not peer_addresses:
+            raise ValueError("need at least one peer address")
+        keys = [f"{prefix}-{i}" for i in range(n_keys)]
+        origins = [
+            int(peer_addresses[int(rng.integers(0, len(peer_addresses)))])
+            for _ in range(n_keys)
+        ]
+        return cls(keys=keys, originators=origins, rng=rng, zipf_s=zipf_s)
+
+    @classmethod
+    def with_interests(
+        cls,
+        categories: Sequence[str],
+        keys_per_category: int,
+        peers_by_interest: dict,
+        rng: np.random.Generator,
+        zipf_s: float = 0.0,
+        locality: float = 1.0,
+    ) -> "KeyWorkload":
+        """Interest-clustered workload (Section 5.3).
+
+        ``peers_by_interest`` maps category -> peer addresses with that
+        interest.  With probability ``locality`` a key's originator is
+        drawn from its own category's peers ("the data generated in one
+        s-network is looked up mostly by a peer in the same s-network"),
+        else from anyone.
+        """
+        if not (0.0 <= locality <= 1.0):
+            raise ValueError("locality must be in [0, 1]")
+        all_peers = [a for peers in peers_by_interest.values() for a in peers]
+        if not all_peers:
+            raise ValueError("no peers supplied")
+        keys: List[str] = []
+        origins: List[int] = []
+        for cat in categories:
+            own = list(peers_by_interest.get(cat, [])) or all_peers
+            for key in interest_keys(cat, keys_per_category):
+                pool = own if rng.random() < locality else all_peers
+                keys.append(key)
+                origins.append(int(pool[int(rng.integers(0, len(pool)))]))
+        return cls(keys=keys, originators=origins, rng=rng, zipf_s=zipf_s)
+
+    # ------------------------------------------------------------------
+    def store_plan(self) -> List[Tuple[int, str, str]]:
+        """(origin, key, value) triples for :meth:`HybridSystem.populate`."""
+        return [
+            (origin, key, f"value-of-{key}")
+            for origin, key in zip(self.originators, self.keys)
+        ]
+
+    def sample_lookups(
+        self,
+        n_lookups: int,
+        peer_addresses: Sequence[int],
+        origin_bias: Optional[dict] = None,
+    ) -> List[Tuple[int, str]]:
+        """(origin, key) lookup pairs.
+
+        Keys are drawn by popularity; origins uniformly from
+        ``peer_addresses``, unless ``origin_bias`` maps a key's category
+        to preferred origins (interest locality in lookups too).
+        """
+        if not peer_addresses:
+            raise ValueError("need at least one origin address")
+        idx = self.rng.choice(len(self.keys), size=n_lookups, p=self._weights)
+        pairs: List[Tuple[int, str]] = []
+        for i in idx:
+            key = self.keys[int(i)]
+            pool: Sequence[int] = peer_addresses
+            if origin_bias is not None:
+                cat = key.partition(":")[0]
+                pool = origin_bias.get(cat, peer_addresses)
+            origin = int(pool[int(self.rng.integers(0, len(pool)))])
+            pairs.append((origin, key))
+        return pairs
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys)

@@ -1,0 +1,139 @@
+"""Tests for the Section 4 closed-form models (Fig. 3 shapes)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    failure_ratio_model,
+    fig3a_join_latency,
+    fig3b_lookup_latency,
+    join_latency,
+    local_hit_probability,
+    lookup_latency,
+    mean_snetwork_size,
+    out_of_range_peers,
+    speer_join_hops,
+    tpeer_join_hops,
+)
+
+
+class TestBuildingBlocks:
+    def test_mean_snetwork_size(self):
+        assert mean_snetwork_size(0.5) == pytest.approx(1.0)
+        assert mean_snetwork_size(0.75) == pytest.approx(3.0)
+        assert mean_snetwork_size(0.0) == 0.0
+        assert math.isinf(mean_snetwork_size(1.0))
+
+    def test_local_hit_probability(self):
+        p = local_hit_probability(0.5, 1000)
+        assert p == pytest.approx(1.0 / 1000)
+        assert local_hit_probability(1.0, 1000) == 1.0
+        assert local_hit_probability(0.0, 1000) == 0.0
+
+    def test_tpeer_join_hops_shrinks_with_ps(self):
+        assert tpeer_join_hops(0.0, 1000) > tpeer_join_hops(0.5, 1000)
+        assert tpeer_join_hops(0.999, 1000) == 0.0  # clamp
+
+    def test_speer_join_hops_grows_with_ps(self):
+        assert speer_join_hops(0.9, 3) > speer_join_hops(0.6, 3)
+        assert speer_join_hops(0.4, 3) == 0.0  # s-networks of size < 1
+
+    def test_speer_join_hops_shrinks_with_delta(self):
+        assert speer_join_hops(0.9, 5) < speer_join_hops(0.9, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            join_latency(-0.1, 1000, 3)
+        with pytest.raises(ValueError):
+            join_latency(0.5, 0, 3)
+        with pytest.raises(ValueError):
+            out_of_range_peers(0.5, 1, 2)
+        with pytest.raises(ValueError):
+            out_of_range_peers(0.5, 3, 0)
+
+
+class TestEquation1:
+    """Fig. 3a shapes."""
+
+    def test_u_shape_with_interior_minimum(self):
+        grid = np.linspace(0.01, 0.99, 99)
+        hops = [join_latency(ps, 1000, 3) for ps in grid]
+        i = int(np.argmin(hops))
+        assert 0 < i < len(grid) - 1
+        # Paper: "the join latency is minimized when p_s ranges from
+        # 0.7 to 0.8" (delta-dependent; allow the analytic optimum band).
+        assert 0.6 <= grid[i] <= 0.9
+
+    def test_larger_delta_lower_curve(self):
+        for ps in (0.6, 0.7, 0.8, 0.9):
+            assert join_latency(ps, 1000, 5) <= join_latency(ps, 1000, 2)
+
+    def test_hybrid_beats_pure_structured(self):
+        pure = join_latency(0.01, 1000, 3)
+        hybrid = join_latency(0.75, 1000, 3)
+        assert hybrid < pure
+
+
+class TestEquation2:
+    """Out-of-range count and the failure-ratio model (Fig. 5a shapes)."""
+
+    def test_increases_with_ps(self):
+        assert out_of_range_peers(0.99, 2, 2) > out_of_range_peers(0.9, 2, 2)
+
+    def test_decreases_with_ttl(self):
+        assert out_of_range_peers(0.99, 2, 4) <= out_of_range_peers(0.99, 2, 1)
+
+    def test_clamped_at_zero(self):
+        assert out_of_range_peers(0.5, 3, 4) == 0.0
+
+    def test_failure_ratio_bounds(self):
+        for ps in (0.0, 0.5, 0.9, 0.99):
+            r = failure_ratio_model(ps, 3, 2)
+            assert 0.0 <= r <= 1.0
+
+    def test_failure_ratio_zero_below_half(self):
+        assert failure_ratio_model(0.4, 3, 1) == 0.0
+
+
+class TestLookupLatency:
+    """Fig. 3b shapes."""
+
+    def test_flat_below_half(self):
+        a = lookup_latency(0.2, 1000, 4, 2)
+        b = lookup_latency(0.2, 1000, 4, 5)
+        assert a == pytest.approx(b)
+
+    def test_delta_matters_above_half(self):
+        assert lookup_latency(0.9, 1000, 4, 5) < lookup_latency(0.9, 1000, 4, 2)
+
+    def test_decreasing_in_ps(self):
+        grid = [0.1, 0.3, 0.5, 0.7, 0.9]
+        values = [lookup_latency(ps, 1000, 4, 3) for ps in grid]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_star_variant(self):
+        v = lookup_latency(0.5, 1000, 4, None)
+        assert v > 0
+
+
+class TestCurves:
+    def test_fig3a_curves_cover_deltas(self):
+        curves = fig3a_join_latency(points=50)
+        assert set(curves) == {2, 3, 4, 5}
+        for c in curves.values():
+            assert len(c.p_s) == 50 == len(c.hops)
+
+    def test_fig3a_optima_in_paper_band(self):
+        curves = fig3a_join_latency(points=99)
+        for delta, curve in curves.items():
+            ps_star, _ = curve.argmin()
+            assert 0.6 <= ps_star <= 0.9
+
+    def test_fig3b_monotone_decreasing(self):
+        curves = fig3b_lookup_latency(points=50)
+        for c in curves.values():
+            assert c.hops[0] >= c.hops[-1]

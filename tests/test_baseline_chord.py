@@ -1,0 +1,134 @@
+"""Tests for the standalone Chord baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import ChordNetwork
+from repro.overlay.idspace import IdSpace
+
+
+def make_ring(n: int, seed: int = 0, **kwargs) -> ChordNetwork:
+    net = ChordNetwork(IdSpace(32), np.random.default_rng(seed), **kwargs)
+    for _ in range(n):
+        net.join()
+    net.stabilize()
+    return net
+
+
+class TestMembership:
+    def test_ring_consistent_after_joins(self):
+        net = make_ring(40)
+        assert net.ring_is_consistent()
+        assert len(net) == 40
+
+    def test_single_node_ring(self):
+        net = make_ring(1)
+        node = next(iter(net.nodes.values()))
+        assert node.successor is node
+        assert node.predecessor is node
+
+    def test_leave_hands_over_data(self):
+        net = make_ring(20)
+        net.store(0, "key-a", 1)
+        result = net.lookup(1, "key-a")
+        owner = result.owner
+        net.leave(owner)
+        net.stabilize()
+        after = net.lookup(1, "key-a")
+        assert after.found
+        assert after.value == 1
+        assert net.ring_is_consistent()
+
+    def test_crash_loses_data(self):
+        net = make_ring(20)
+        net.store(0, "key-a", 1)
+        owner = net.lookup(1, "key-a").owner
+        net.crash(owner)
+        net.stabilize()
+        assert not net.lookup(1, "key-a").found
+        assert net.ring_is_consistent()
+
+
+class TestRouting:
+    def test_lookup_finds_stored_value(self):
+        net = make_ring(30)
+        for i in range(60):
+            net.store(i % 30, f"k{i}", i)
+        for i in range(60):
+            result = net.lookup((i * 7) % 30, f"k{i}")
+            assert result.found and result.value == i
+
+    def test_zero_failure_for_present_keys(self):
+        """Structured networks have no false negatives (Section 4.2)."""
+        net = make_ring(50)
+        for i in range(100):
+            net.store(i % 50, f"k{i}", i)
+        assert all(net.lookup((i * 3) % 50, f"k{i}").found for i in range(100))
+
+    def test_hops_logarithmic(self):
+        """Finger routing must do much better than N/2 linear scans."""
+        net = make_ring(128, seed=3)
+        for i in range(100):
+            net.store(i % 128, f"k{i}", i)
+        hops = [net.lookup((i * 11) % 128, f"k{i}").hops for i in range(100)]
+        mean_hops = sum(hops) / len(hops)
+        assert mean_hops <= 3 * math.log2(128)
+        assert max(hops) < 64  # far below linear
+
+    def test_owner_is_correct_per_segment(self):
+        net = make_ring(25)
+        space = net.idspace
+        for i in range(50):
+            key = f"k{i}"
+            owner = net.nodes[net.lookup(0, key).owner]
+            assert owner.owns(space.hash_key(key))
+
+    def test_latency_uses_router_when_given(self, rng):
+        from repro.net import Router, TransitStubConfig, generate_transit_stub
+
+        topo = generate_transit_stub(TransitStubConfig(), rng)
+        router = Router(topo)
+        net = ChordNetwork(
+            IdSpace(32),
+            np.random.default_rng(1),
+            router=router,
+            hosts=list(range(topo.n)),
+        )
+        for _ in range(20):
+            net.join()
+        net.stabilize()
+        net.store(0, "x", 1)
+        result = net.lookup(5, "x")
+        if result.hops > 0:
+            assert result.latency > result.hops * 0.5  # real latencies
+
+
+class TestStabilization:
+    def test_fingers_repaired_after_churn(self):
+        net = make_ring(40, seed=5)
+        rng = np.random.default_rng(9)
+        victims = rng.choice(list(net.nodes), size=10, replace=False)
+        for v in victims[:5]:
+            net.leave(int(v))
+        for v in victims[5:]:
+            net.crash(int(v))
+        net.stabilize(rounds=2)
+        assert net.ring_is_consistent()
+        # Routing still terminates and is correct.
+        alive = [n.node_id for n in net.nodes.values() if n.alive]
+        for i in range(20):
+            net.store(alive[i % len(alive)], f"post{i}", i)
+            assert net.lookup(alive[(i + 3) % len(alive)], f"post{i}").found
+
+    def test_successor_lists_populated(self):
+        net = make_ring(10)
+        for node in net.nodes.values():
+            assert len(node.successor_list) == net.r
+
+    def test_bad_successor_list_size(self):
+        with pytest.raises(ValueError):
+            ChordNetwork(IdSpace(32), np.random.default_rng(0), successor_list_size=0)

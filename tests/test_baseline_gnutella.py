@@ -1,0 +1,128 @@
+"""Tests for the standalone Gnutella-style baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GnutellaNetwork
+
+
+def make_net(n: int, seed: int = 0, **kwargs) -> GnutellaNetwork:
+    net = GnutellaNetwork(np.random.default_rng(seed), **kwargs)
+    for _ in range(n):
+        net.join()
+    return net
+
+
+class TestMembership:
+    def test_join_links_to_existing(self):
+        net = make_net(30)
+        for p in net.peers.values():
+            if p.peer_id > 0:
+                assert p.neighbors
+
+    def test_first_peer_has_no_neighbors(self):
+        net = make_net(1)
+        assert net.peers[0].neighbors == set()
+
+    def test_links_are_symmetric(self):
+        net = make_net(40)
+        for p in net.peers.values():
+            for n in p.neighbors:
+                assert p.peer_id in net.peers[n].neighbors
+
+    def test_leave_unlinks(self):
+        net = make_net(20)
+        victim = net.peers[5]
+        neighbors = set(victim.neighbors)
+        net.leave(5)
+        for n in neighbors:
+            assert 5 not in net.peers[n].neighbors
+        assert len(net) == 19
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            GnutellaNetwork(np.random.default_rng(0), links_per_join=0)
+
+
+class TestFlooding:
+    def test_local_hit_is_free(self):
+        net = make_net(10)
+        net.store(3, "k", 1)
+        result = net.lookup(3, "k", ttl=0)
+        assert result.found and result.contacts == 0
+
+    def test_large_ttl_finds_everything(self):
+        net = make_net(50, seed=2)
+        for i in range(50):
+            net.store(i, f"k{i}", i)
+        for i in range(50):
+            assert net.lookup((i * 7) % 50, f"k{i}", ttl=12).found
+
+    def test_small_ttl_misses_distant_items(self):
+        net = make_net(200, seed=3, links_per_join=2)
+        for i in range(200):
+            net.store(i, f"k{i}", i)
+        misses = sum(
+            not net.lookup((i * 71) % 200, f"k{i}", ttl=1).found
+            for i in range(200)
+        )
+        assert misses > 0
+
+    def test_higher_ttl_never_hurts(self):
+        net = make_net(120, seed=4, links_per_join=2)
+        for i in range(120):
+            net.store(i, f"k{i}", i)
+        for ttl_small, ttl_big in [(1, 3), (2, 5)]:
+            small = sum(
+                net.lookup((i * 13) % 120, f"k{i}", ttl=ttl_small).found
+                for i in range(120)
+            )
+            big = sum(
+                net.lookup((i * 13) % 120, f"k{i}", ttl=ttl_big).found
+                for i in range(120)
+            )
+            assert big >= small
+
+    def test_mesh_produces_duplicates(self):
+        """The bandwidth cost the paper's tree design avoids."""
+        net = make_net(60, seed=5, links_per_join=4)
+        result = net.lookup(0, "missing", ttl=4)
+        assert result.duplicates > 0
+
+    def test_contacts_bounded_by_population(self):
+        net = make_net(40, seed=6)
+        result = net.lookup(0, "missing", ttl=10)
+        assert result.contacts <= 39
+
+    def test_crashed_peers_not_contacted(self):
+        net = make_net(40, seed=7)
+        net.store(20, "k", 1)
+        net.crash(20)
+        result = net.lookup(0, "k", ttl=10)
+        assert not result.found
+
+    def test_lookup_from_dead_origin_rejected(self):
+        net = make_net(5)
+        net.crash(0)
+        with pytest.raises(ValueError):
+            net.lookup(0, "k", ttl=2)
+
+    def test_negative_ttl_rejected(self):
+        net = make_net(5)
+        with pytest.raises(ValueError):
+            net.lookup(0, "k", ttl=-1)
+
+
+class TestReachability:
+    def test_reachable_grows_with_ttl(self):
+        net = make_net(80, seed=8, links_per_join=2)
+        r1 = net.reachable_within(0, 1)
+        r3 = net.reachable_within(0, 3)
+        r8 = net.reachable_within(0, 8)
+        assert r1 <= r3 <= r8
+
+    def test_ttl1_equals_degree(self):
+        net = make_net(30, seed=9)
+        assert net.reachable_within(4, 1) == len(net.peers[4].neighbors)

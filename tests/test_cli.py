@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.peers == 200 and args.ps == 0.7
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table2", "--scale", "quick"])
+        assert args.name == "table2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_sweep_grid(self):
+        args = build_parser().parse_args(["sweep", "--grid", "0.1", "0.5"])
+        assert args.grid == [0.1, 0.5]
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        rc = main(
+            [
+                "demo", "--peers", "40", "--keys", "60", "--lookups", "60",
+                "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "failure ratio" in out
+        assert "connum" in out
+
+    def test_demo_bittorrent_and_cache_flags(self, capsys):
+        rc = main(
+            [
+                "demo", "--peers", "30", "--keys", "40", "--lookups", "40",
+                "--bittorrent", "--cache",
+            ]
+        )
+        assert rc == 0
+        assert "0.0000" in capsys.readouterr().out  # zero failures
+
+    def test_analyze_runs(self, capsys):
+        rc = main(["analyze", "--points", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Fig. 3a" in out and "Fig. 3b" in out
+
+    def test_sweep_runs(self, capsys):
+        rc = main(
+            [
+                "sweep", "--peers", "30", "--keys", "40", "--lookups", "40",
+                "--grid", "0.0", "0.8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0.8" in out
+
+    def test_experiment_maintenance(self, capsys):
+        rc = main(["experiment", "maintenance", "--scale", "quick"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "maintenance" in out
+
+    def test_deterministic_output(self, capsys):
+        argv = ["demo", "--peers", "30", "--keys", "40", "--lookups", "40", "--seed", "9"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,154 @@
+"""Smoke + shape tests for the experiment drivers.
+
+Each paper table/figure driver runs at a tiny scale here; the
+assertions check the *shapes* the paper reports, not absolute numbers
+(those live in EXPERIMENTS.md at larger scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scale
+from repro.experiments.common import run_cell
+from repro.core import HybridConfig
+
+TINY = Scale(n_peers=60, n_keys=180, n_lookups=180, seed=1)
+
+
+class TestCommon:
+    def test_run_cell_bundle(self):
+        cell = run_cell(HybridConfig(p_s=0.5), TINY)
+        assert cell.failure_ratio == 0.0
+        assert cell.successes == 180
+        assert cell.n_t_peers + cell.n_s_peers == 60
+
+    def test_scales(self):
+        assert Scale.paper().n_peers == 1000
+        assert Scale.quick().n_peers < Scale.medium().n_peers
+        assert Scale.quick().with_seed(9).seed == 9
+
+
+class TestFig3:
+    def test_shapes(self):
+        from repro.experiments import fig3_analysis
+
+        result = fig3_analysis.run(points=60)
+        # 3a: optimum in the 0.6-0.9 band, larger delta never worse there.
+        for delta in (2, 3, 4, 5):
+            assert 0.6 <= result.optimal_ps(delta) <= 0.9
+        j2, j5 = result.join[2], result.join[5]
+        assert j5.argmin()[1] <= j2.argmin()[1]
+        # 3b: decreasing overall.
+        for c in result.lookup.values():
+            assert c.hops[0] >= c.hops[-1]
+
+    def test_main_renders(self):
+        from repro.experiments import fig3_analysis
+
+        out = fig3_analysis.main(points=6)
+        assert "Fig. 3a" in out and "Fig. 3b" in out
+
+
+class TestFig4:
+    def test_direct_concentrates_spread_flattens(self):
+        from repro.experiments import fig4_distribution
+
+        cells = fig4_distribution.run(
+            Scale(n_peers=80, n_keys=0, n_lookups=0, seed=2),
+            ps_values=(0.9,),
+            items_per_peer=10,
+        )
+        direct = cells[("direct", 0.9)].summary
+        spread = cells[("spread", 0.9)].summary
+        assert direct.gini > spread.gini
+        assert direct.max > spread.max
+        assert direct.fraction_zero > spread.fraction_zero
+        assert direct.total_items == spread.total_items  # conservation
+
+    def test_schemes_agree_at_ps_zero(self):
+        from repro.experiments import fig4_distribution
+
+        cells = fig4_distribution.run(
+            Scale(n_peers=40, n_keys=0, n_lookups=0, seed=2),
+            ps_values=(0.0,),
+            items_per_peer=8,
+        )
+        d = cells[("direct", 0.0)].summary
+        s = cells[("spread", 0.0)].summary
+        # With no s-peers, spreading has nowhere to spread.
+        assert d.gini == pytest.approx(s.gini)
+
+
+class TestFig5:
+    def test_5a_shapes(self):
+        from repro.experiments import fig5_failure
+
+        result = fig5_failure.run_5a(
+            Scale(n_peers=80, n_keys=240, n_lookups=240, seed=3),
+            ttls=(1, 4),
+            ps_values=(0.3, 0.9),
+            delta=2,
+        )
+        # ~0 below p_s = 0.5 regardless of TTL.
+        assert result.failure(1, 0.3) < 0.02
+        assert result.failure(4, 0.3) < 0.02
+        # Rising with p_s at small TTL; falling with TTL.
+        assert result.failure(1, 0.9) > result.failure(1, 0.3)
+        assert result.failure(4, 0.9) <= result.failure(1, 0.9)
+
+    def test_5b_failure_tracks_crash_fraction(self):
+        from repro.experiments import fig5_failure
+
+        result = fig5_failure.run_5b(
+            Scale(n_peers=60, n_keys=180, n_lookups=180, seed=4),
+            fractions=(0.0, 0.2),
+            ps_values=(0.6,),
+        )
+        assert result.failure(0.6, 0.0) == pytest.approx(0.0, abs=0.02)
+        assert 0.05 < result.failure(0.6, 0.2) < 0.4
+
+
+class TestTable2:
+    def test_connum_decreasing_in_ps(self):
+        from repro.experiments import table2_connum
+
+        result = table2_connum.run(
+            Scale(n_peers=60, n_keys=180, n_lookups=180, seed=5),
+            ps_values=(0.0, 0.5, 0.9),
+            ttls=(1, 4),
+        )
+        assert result.connum(0.0, 4) > result.connum(0.5, 4) > result.connum(0.9, 4)
+        # TTL irrelevant at p_s = 0 (no flooding at all).
+        assert result.connum(0.0, 1) == result.connum(0.0, 4)
+        # TTL grows connum only at high p_s.
+        assert result.connum(0.9, 4) >= result.connum(0.9, 1)
+
+
+@pytest.mark.slow
+class TestFig6:
+    def test_6a_heterogeneity_helps_at_high_ps(self):
+        from repro.experiments import fig6_latency
+
+        result = fig6_latency.run_6a(
+            Scale(n_peers=60, n_keys=180, n_lookups=180, seed=21),
+            ps_values=(0.7,),
+        )
+        assert result.latency("hetero", 0.7) < result.latency("base", 0.7)
+
+    def test_6b_binning_helps_at_high_ps(self):
+        """Topology awareness shows once a meaningful share of each
+        lookup's path lies inside s-networks; average over seeds since
+        the per-run effect (~5%) is close to workload noise."""
+        from repro.experiments import fig6_latency
+
+        base, binned = [], []
+        for seed in (17, 18):
+            result = fig6_latency.run_6b(
+                Scale(n_peers=80, n_keys=240, n_lookups=240, seed=seed),
+                ps_values=(0.7,),
+                landmark_counts=(8,),
+            )
+            base.append(result.latency("base", 0.7))
+            binned.append(result.latency("bin8", 0.7))
+        assert sum(binned) < sum(base)

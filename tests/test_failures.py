@@ -1,0 +1,183 @@
+"""Crash detection and recovery tests (Section 3.2.2).
+
+Heartbeats, neighbor timers, subtree rejoin, t-peer replacement
+elections at the server, ring repair, and the failure-ratio behaviour
+of Fig. 5b.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HybridConfig, HybridSystem
+from repro.metrics import MembershipLog
+
+from .conftest import build_system, check_ring, check_trees
+
+HB = dict(heartbeats_enabled=True, lookup_timeout=20_000.0)
+
+
+def settle(system, ms=30_000.0):
+    system.engine.run_until(system.engine.now + ms)
+
+
+class TestDetection:
+    def test_crashed_speer_removed_from_parent(self):
+        system = build_system(p_s=0.8, n_peers=30, **HB)
+        leaf = next(p for p in system.s_peers() if not p.children)
+        cp = system.peers[leaf.cp]
+        leaf.crash()
+        settle(system, 10_000)
+        assert leaf.address not in cp.children
+
+    def test_orphan_rejoins_after_cp_crash(self):
+        system = build_system(p_s=0.9, n_peers=40, delta=2, seed=6, **HB)
+        interior = next(
+            p for p in system.s_peers() if p.children and p.cp != p.t_peer
+        )
+        log = MembershipLog(system.trace)
+        interior.crash()
+        settle(system, 20_000)
+        check_trees(system)
+        assert log.count("crash.detected") >= 1
+
+    def test_detection_latency_bounded_by_timeout(self):
+        system = build_system(p_s=0.8, n_peers=20, **HB)
+        log = MembershipLog(system.trace)
+        victim = system.s_peers()[0]
+        t0 = system.engine.now
+        victim.crash()
+        settle(system, 10_000)
+        detections = [r for r in log.of("crash.detected")
+                      if r.payload["suspect"] == victim.address]
+        assert detections
+        # Timeout 3.5s plus one hello period of slack.
+        assert all(r.time - t0 < 6_000.0 for r in detections)
+
+    def test_no_false_positives_without_crashes(self):
+        system = build_system(p_s=0.7, n_peers=30, **HB)
+        log = MembershipLog(system.trace)
+        settle(system, 20_000)
+        assert log.count("crash.detected") == 0
+
+
+class TestTPeerReplacement:
+    def test_election_promotes_s_child(self):
+        system = build_system(p_s=0.7, n_peers=30, seed=9, **HB)
+        victim = next(p for p in system.t_peers() if p.children)
+        pid = victim.p_id
+        t_before = len(system.t_peers())
+        log = MembershipLog(system.trace)
+        victim.crash()
+        settle(system, 30_000)
+        assert log.count("t.promotion") == 1
+        assert len(system.t_peers()) == t_before  # substitution
+        promoted = next(p for p in system.t_peers() if p.p_id == pid)
+        assert promoted.address != victim.address
+        check_ring(system)
+        check_trees(system)
+
+    def test_ring_excised_when_no_replacement_exists(self):
+        system = build_system(p_s=0.0, n_peers=10, **HB)
+        victim = system.t_peers()[4]
+        log = MembershipLog(system.trace)
+        victim.crash()
+        settle(system, 30_000)
+        assert log.count("server.excise") == 1
+        check_ring(system)
+        assert len(system.ring_order()) == 9
+
+    def test_crashed_tpeer_data_is_lost(self):
+        system = build_system(p_s=0.7, n_peers=30, seed=9, **HB)
+        peers = [p.address for p in system.alive_peers()]
+        system.populate([(peers[i % len(peers)], f"k{i}", i) for i in range(90)])
+        victim = max(system.t_peers(), key=lambda p: len(p.database))
+        lost = len(victim.database)
+        total = system.total_items()
+        victim.crash()
+        settle(system, 30_000)
+        assert system.total_items() == total - lost
+
+    def test_multiple_simultaneous_tpeer_crashes(self):
+        system = build_system(p_s=0.6, n_peers=40, seed=10, **HB)
+        victims = [p for p in system.t_peers() if p.children][:3]
+        for v in victims:
+            v.crash()
+        settle(system, 60_000)
+        check_ring(system)
+        check_trees(system)
+
+    def test_mixed_crash_storm(self):
+        """Crash a fifth of everything at once; system must re-stabilize."""
+        system = build_system(p_s=0.7, n_peers=50, seed=11, **HB)
+        system.crash_random_fraction(0.2)
+        settle(system, 60_000)
+        check_ring(system)
+        check_trees(system)
+
+
+class TestFailureRatioUnderCrash:
+    def test_failure_tracks_data_loss(self):
+        """Fig. 5b: failure ratio ~ fraction of items lost, not more."""
+        system = build_system(p_s=0.6, n_peers=60, ttl=6, seed=12, **HB)
+        peers = [p.address for p in system.alive_peers()]
+        n = 180
+        system.populate([(peers[i % len(peers)], f"k{i}", i) for i in range(n)])
+        system.crash_random_fraction(0.15)
+        settle(system, 40_000)
+        surviving = set()
+        for p in system.alive_peers():
+            surviving.update(i.key for i in p.database)
+        lost_fraction = 1 - len(surviving) / n
+        alive = [p.address for p in system.alive_peers()]
+        system.run_lookups([(alive[(i * 7) % len(alive)], f"k{i}") for i in range(n)])
+        stats = system.query_stats()
+        assert stats.failure_ratio == pytest.approx(lost_fraction, abs=0.05)
+
+    def test_zero_crash_zero_failures(self):
+        system = build_system(p_s=0.6, n_peers=40, ttl=6, **HB)
+        peers = [p.address for p in system.alive_peers()]
+        system.populate([(peers[i % len(peers)], f"k{i}", i) for i in range(80)])
+        settle(system, 20_000)
+        alive = [p.address for p in system.alive_peers()]
+        system.run_lookups([(alive[(i * 3) % len(alive)], f"k{i}") for i in range(80)])
+        assert system.query_stats().failure_ratio == 0.0
+
+
+class TestHeartbeatEconomy:
+    def test_acks_suppress_hellos(self):
+        """Query acknowledgments should replace scheduled HELLOs
+        (Section 3.2.2's bandwidth optimisation)."""
+        system = build_system(p_s=0.8, n_peers=20, ack_suppress=200.0, **HB)
+        peers = [p.address for p in system.alive_peers()]
+        system.populate([(peers[i % len(peers)], f"k{i}", i) for i in range(40)])
+
+        hellos = {"n": 0}
+        acks = {"n": 0}
+
+        def count(record):
+            if record.payload.get("kind") == "Hello":
+                hellos["n"] += 1
+            elif record.payload.get("kind") == "Ack":
+                acks["n"] += 1
+
+        system.trace.subscribe("transport.send", count)
+        alive = [p.address for p in system.alive_peers()]
+        # A heavy continuous query load.
+        system.run_lookups(
+            [(alive[(i * 3) % len(alive)], f"k{i % 40}") for i in range(200)],
+            wave_size=20,
+        )
+        assert acks["n"] > 0
+
+    def test_heartbeats_disabled_means_no_hello_traffic(self):
+        system = build_system(p_s=0.8, n_peers=20)  # heartbeats off
+        seen = {"hello": 0}
+        system.trace.subscribe(
+            "transport.send",
+            lambda r: seen.__setitem__(
+                "hello", seen["hello"] + (r.payload.get("kind") == "Hello")
+            ),
+        )
+        settle(system, 10_000)
+        assert seen["hello"] == 0

@@ -1,0 +1,83 @@
+"""Unit tests for shortest-path routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import (
+    NodeKind,
+    PhysicalTopology,
+    Router,
+    TransitStubConfig,
+    generate_transit_stub,
+)
+
+
+def tiny_topology() -> PhysicalTopology:
+    """A 4-node diamond with a cheap bottom path: 0-1-3 costs 2,
+    0-2-3 costs 10."""
+    return PhysicalTopology(
+        n=4,
+        edges=[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 5.0), (2, 3, 5.0)],
+        kind=[NodeKind.TRANSIT] * 4,
+        domain=[0, 0, 0, 0],
+        transit_attachment=[0, 1, 2, 3],
+    )
+
+
+class TestRouter:
+    def test_latency_is_shortest_path(self):
+        r = Router(tiny_topology())
+        assert r.latency(0, 3) == pytest.approx(2.0)
+        assert r.latency(0, 2) == pytest.approx(5.0)
+
+    def test_latency_symmetric(self):
+        r = Router(tiny_topology())
+        assert r.latency(1, 2) == r.latency(2, 1)
+
+    def test_self_latency_zero(self):
+        r = Router(tiny_topology())
+        assert r.latency(2, 2) == 0.0
+
+    def test_path_extraction(self):
+        r = Router(tiny_topology())
+        assert r.path(0, 3) == [0, 1, 3]
+        assert r.path(3, 0) == [3, 1, 0]
+        assert r.path(1, 1) == [1]
+
+    def test_path_edges_sorted_pairs(self):
+        r = Router(tiny_topology())
+        assert r.path_edges(3, 0) == [(1, 3), (0, 1)]
+
+    def test_hop_count(self):
+        r = Router(tiny_topology())
+        assert r.hop_count(0, 3) == 2
+        assert r.hop_count(0, 0) == 0
+
+    def test_disconnected_topology_rejected(self):
+        topo = PhysicalTopology(
+            n=4,
+            edges=[(0, 1, 1.0), (2, 3, 1.0)],
+            kind=[NodeKind.STUB] * 4,
+            domain=[0, 0, 1, 1],
+            transit_attachment=[0, 0, 2, 2],
+        )
+        with pytest.raises(ValueError, match="not connected"):
+            Router(topo)
+
+    def test_triangle_inequality_on_generated_topology(self, rng):
+        topo = generate_transit_stub(TransitStubConfig(), rng)
+        r = Router(topo)
+        # Spot-check: d(a,c) <= d(a,b) + d(b,c) for a sample of triples.
+        picks = rng.integers(0, topo.n, size=(30, 3))
+        for a, b, c in picks:
+            a, b, c = int(a), int(b), int(c)
+            assert r.latency(a, c) <= r.latency(a, b) + r.latency(b, c) + 1e-9
+
+    def test_path_latency_consistent_with_matrix(self, rng):
+        topo = generate_transit_stub(TransitStubConfig(), rng)
+        r = Router(topo)
+        weights = {tuple(sorted((u, v))): lat for u, v, lat in topo.edges}
+        for a, b in [(0, topo.n - 1), (3, 7), (1, topo.n // 2)]:
+            total = sum(weights[e] for e in r.path_edges(a, b))
+            assert total == pytest.approx(r.latency(a, b))

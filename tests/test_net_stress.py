@@ -1,0 +1,47 @@
+"""Unit tests for link-stress accounting."""
+
+from __future__ import annotations
+
+from repro.net import LinkStress
+
+
+def test_record_path_counts_each_edge():
+    s = LinkStress()
+    s.record_path([(0, 1), (1, 2)])
+    s.record_path([(1, 2)])
+    assert s.stress(0, 1) == 1
+    assert s.stress(1, 2) == 2
+    assert s.stress(2, 1) == 2  # order-insensitive query
+    assert s.total_transmissions == 3
+
+
+def test_unused_link_is_zero():
+    s = LinkStress()
+    assert s.stress(5, 6) == 0
+
+
+def test_summary():
+    s = LinkStress()
+    for _ in range(4):
+        s.record_path([(0, 1)])
+    s.record_path([(2, 3)])
+    summary = s.summary()
+    assert summary.total_transmissions == 5
+    assert summary.links_used == 2
+    assert summary.max_stress == 4
+    assert summary.mean_stress == 2.5
+
+
+def test_empty_summary():
+    summary = LinkStress().summary()
+    assert summary.total_transmissions == 0
+    assert summary.links_used == 0
+
+
+def test_reset():
+    s = LinkStress()
+    s.record_path([(0, 1)])
+    s.reset()
+    assert s.total_transmissions == 0
+    assert s.stress(0, 1) == 0
+    assert s.counts() == {}

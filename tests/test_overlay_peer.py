@@ -1,0 +1,116 @@
+"""Tests for the base peer (reflective dispatch) and message taxonomy."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+import repro.overlay.messages as messages_mod
+from repro.overlay.idspace import IdSpace
+from repro.overlay.messages import (
+    CONTROL_SIZE,
+    ITEM_SIZE,
+    DataFound,
+    Hello,
+    LoadTransfer,
+    Message,
+    RoleHandoff,
+    StoreRequest,
+)
+from repro.overlay.peer import BasePeer
+from repro.overlay.transport import Transport
+from repro.sim import Engine
+
+
+class EchoPeer(BasePeer):
+    """Minimal peer with one handler, for dispatch tests."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.hellos = []
+
+    def on_Hello(self, msg: Hello) -> None:
+        self.hellos.append(msg)
+
+
+@pytest.fixture
+def wired(engine, idspace):
+    transport = Transport(engine)
+    a = EchoPeer(1, 0, engine, transport, idspace)
+    b = EchoPeer(2, 0, engine, transport, idspace)
+    transport.register(a)
+    transport.register(b)
+    return engine, transport, a, b
+
+
+class TestDispatch:
+    def test_handler_invoked(self, wired):
+        engine, transport, a, b = wired
+        a.send(2, Hello())
+        engine.run()
+        assert len(b.hellos) == 1
+        assert b.messages_received == 1
+
+    def test_unhandled_raises(self, wired):
+        engine, transport, a, b = wired
+        a.send(2, DataFound())
+        with pytest.raises(NotImplementedError, match="DataFound"):
+            engine.run()
+
+    def test_dead_peer_ignores_messages(self, wired):
+        engine, transport, a, b = wired
+        a.send(2, Hello())
+        b.alive = False  # dies while in flight: transport drops it
+        engine.run()
+        assert b.hellos == []
+
+    def test_dispatch_table_cached_per_class(self, wired):
+        engine, transport, a, b = wired
+        assert a._dispatch is b._dispatch  # same class -> same table
+
+    def test_emit_noop_without_listeners(self, wired):
+        engine, transport, a, b = wired
+        a.emit("anything", x=1)  # no trace bus: must not raise
+
+
+class TestMessageSizes:
+    def test_control_messages_are_small(self):
+        assert Hello().size == CONTROL_SIZE
+
+    def test_store_carries_item(self):
+        assert StoreRequest().size == CONTROL_SIZE + ITEM_SIZE
+
+    def test_bulk_transfer_scales_with_items(self):
+        items = tuple((f"k{i}", i, 0) for i in range(5))
+        assert LoadTransfer(items=items).size == CONTROL_SIZE + 5 * ITEM_SIZE
+        assert LoadTransfer().size == CONTROL_SIZE
+
+    def test_handoff_scales_with_items(self):
+        items = tuple((f"k{i}", i, 0) for i in range(3))
+        assert RoleHandoff(items=items).size == CONTROL_SIZE + 3 * ITEM_SIZE
+
+    def test_sender_default_unset(self):
+        assert Hello().sender == -1
+
+
+class TestTaxonomyHygiene:
+    def test_every_exported_message_is_a_dataclass_message(self):
+        for name in messages_mod.__all__:
+            obj = getattr(messages_mod, name)
+            if isinstance(obj, type) and issubclass(obj, Message) and obj is not Message:
+                assert dataclasses.is_dataclass(obj), name
+                obj()  # constructible with defaults
+
+    def test_message_names_match_handler_convention(self):
+        """Every HybridPeer handler must name a real message class."""
+        from repro.core.hybridpeer import HybridPeer
+
+        message_names = {
+            name
+            for name in messages_mod.__all__
+            if isinstance(getattr(messages_mod, name), type)
+        }
+        for attr in dir(HybridPeer):
+            if attr.startswith("on_"):
+                assert attr[3:] in message_names, f"{attr} has no message class"

@@ -1,0 +1,130 @@
+"""Property-based tests over whole-system invariants.
+
+These run the real protocol under randomly drawn configurations and
+operation sequences (hypothesis chooses p_s, delta, churn victims,
+workload sizes) and assert the structural invariants that must hold in
+*every* reachable state:
+
+* the t-network is one consistent sorted ring;
+* every s-network is a degree-capped tree rooted at its t-peer;
+* data placement conserves items and respects segment ownership;
+* lookups for present keys succeed when the TTL covers the trees.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import HybridConfig, HybridSystem
+
+from .conftest import check_ring, check_trees
+
+# System builds take ~100 ms; keep example counts deliberate.
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build(p_s: float, delta: int, seed: int, n_peers: int = 24, **kw) -> HybridSystem:
+    system = HybridSystem(
+        HybridConfig(p_s=p_s, delta=delta, **kw), n_peers=n_peers, seed=seed
+    )
+    system.build()
+    system.engine.run()
+    return system
+
+
+@given(
+    p_s=st.sampled_from([0.0, 0.25, 0.5, 0.75, 0.9]),
+    delta=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@SLOW
+def test_build_invariants(p_s, delta, seed):
+    system = build(p_s, delta, seed)
+    check_ring(system)
+    check_trees(system)
+
+
+@given(
+    p_s=st.sampled_from([0.4, 0.7, 0.9]),
+    delta=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_items=st.integers(min_value=5, max_value=60),
+)
+@SLOW
+def test_placement_conservation(p_s, delta, seed, n_items):
+    """No store operation may lose or duplicate an item, and every item
+    must sit inside the segment of its holder's s-network."""
+    system = build(p_s, delta, seed)
+    addresses = [p.address for p in system.alive_peers()]
+    system.populate(
+        [(addresses[i % len(addresses)], f"k{i}", i) for i in range(n_items)]
+    )
+    keys = []
+    peers = {p.address: p for p in system.alive_peers()}
+    for p in system.alive_peers():
+        anchor = p if p.role == "t" else peers[p.t_peer]
+        for item in p.database:
+            keys.append(item.key)
+            assert anchor.owns(item.d_id)
+    assert sorted(keys) == [f"k{i}" for i in sorted(range(n_items), key=lambda x: f"k{x}")]
+
+
+@given(
+    p_s=st.sampled_from([0.5, 0.8]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    victims=st.integers(min_value=1, max_value=6),
+)
+@SLOW
+def test_graceful_churn_invariants(p_s, seed, victims):
+    """Random graceful leaves never break ring or tree invariants."""
+    system = build(p_s, 3, seed, n_peers=30)
+    rng = system.rngs.stream("test-churn")
+    alive = [p.address for p in system.alive_peers()]
+    chosen = rng.choice(alive, size=min(victims, len(alive) - 2), replace=False)
+    for addr in chosen:
+        peer = system.peers[int(addr)]
+        if peer.alive:
+            peer.leave()
+    system.engine.run()
+    check_ring(system)
+    check_trees(system)
+
+
+@given(
+    p_s=st.sampled_from([0.5, 0.8]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@SLOW
+def test_crash_recovery_invariants(p_s, seed):
+    """Random crashes + detection/repair re-establish the invariants."""
+    system = HybridSystem(
+        HybridConfig(p_s=p_s, heartbeats_enabled=True, lookup_timeout=20_000.0),
+        n_peers=30,
+        seed=seed,
+    )
+    system.build()
+    system.settle(2_000.0)
+    system.crash_random_fraction(0.15)
+    system.settle(40_000.0)
+    check_ring(system)
+    check_trees(system)
+
+
+@given(
+    p_s=st.sampled_from([0.3, 0.6, 0.9]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@SLOW
+def test_present_keys_always_found_with_large_ttl(p_s, seed):
+    system = build(p_s, 3, seed, n_peers=24, ttl=10)
+    addresses = [p.address for p in system.alive_peers()]
+    system.populate([(addresses[i % len(addresses)], f"k{i}", i) for i in range(30)])
+    system.run_lookups(
+        [(addresses[(i * 5) % len(addresses)], f"k{i}") for i in range(30)]
+    )
+    assert system.query_stats().failure_ratio == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the replication extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HybridConfig, HybridSystem
+
+from .conftest import build_system
+
+
+def populate(system, n):
+    peers = [p.address for p in system.alive_peers()]
+    system.populate([(peers[i % len(peers)], f"k{i}", i) for i in range(n)])
+    return peers
+
+
+class TestPlacement:
+    def test_k1_is_paper_behavior(self):
+        system = build_system(p_s=0.7, n_peers=30, replication_factor=1)
+        populate(system, 90)
+        assert system.total_items() == 90  # single copies
+
+    def test_k2_doubles_copies_for_remote_items(self):
+        system = build_system(p_s=0.7, n_peers=30, replication_factor=2, seed=6)
+        populate(system, 90)
+        # Every item has >= 1 copy; most have 2 (local inserts to a
+        # t-peer with no children can't replicate further).
+        total = system.total_items()
+        assert 90 < total <= 180
+        keys = {}
+        for p in system.alive_peers():
+            for item in p.database:
+                keys.setdefault(item.key, []).append(p.address)
+        assert all(len(v) <= 2 for v in keys.values())
+        assert sum(1 for v in keys.values() if len(v) == 2) > 45
+
+    def test_replicas_live_on_distinct_peers(self):
+        system = build_system(p_s=0.7, n_peers=30, replication_factor=2, seed=6)
+        populate(system, 60)
+        for p in system.alive_peers():
+            keys = [i.key for i in p.database]
+            assert len(keys) == len(set(keys))  # no double copy on one peer
+
+    def test_replicas_stay_in_owner_segment(self):
+        system = build_system(p_s=0.7, n_peers=30, replication_factor=3, seed=6)
+        populate(system, 60)
+        anchors = {p.address: p for p in system.t_peers()}
+        for p in system.alive_peers():
+            anchor = p if p.role == "t" else anchors[p.t_peer]
+            for item in p.database:
+                assert anchor.owns(item.d_id)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridConfig(replication_factor=0).validate()
+
+
+class TestCrashResilience:
+    def _failure_after_crash(self, k: int) -> float:
+        config = HybridConfig(
+            p_s=0.7, ttl=8, heartbeats_enabled=True,
+            lookup_timeout=20_000.0, replication_factor=k,
+        )
+        system = HybridSystem(config, n_peers=60, seed=7)
+        system.build()
+        peers = populate(system, 180)
+        system.crash_random_fraction(0.2)
+        system.settle(40_000.0)
+        alive = [p.address for p in system.alive_peers()]
+        system.run_lookups(
+            [(alive[(i * 7) % len(alive)], f"k{i}") for i in range(180)]
+        )
+        return system.query_stats().failure_ratio
+
+    def test_replication_cuts_crash_losses(self):
+        # Replicas share an s-network, so the gain is sub-quadratic at
+        # small N; still a strong reduction.
+        single = self._failure_after_crash(1)
+        double = self._failure_after_crash(2)
+        assert double < 0.7 * single
+
+    def test_no_crash_no_failures(self):
+        system = build_system(p_s=0.7, n_peers=30, ttl=8, replication_factor=2)
+        peers = populate(system, 90)
+        system.run_lookups([(peers[(i * 3) % len(peers)], f"k{i}") for i in range(90)])
+        assert system.query_stats().failure_ratio == 0.0

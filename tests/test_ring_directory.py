@@ -1,0 +1,102 @@
+"""Unit tests for the server's ring directory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RingDirectory
+
+
+def make_ring() -> RingDirectory:
+    ring = RingDirectory()
+    for pid, addr in [(100, 1), (200, 2), (300, 3), (400, 4)]:
+        ring.insert(pid, addr)
+    return ring
+
+
+class TestMembership:
+    def test_insert_and_lookup(self):
+        ring = make_ring()
+        assert len(ring) == 4
+        assert 2 in ring
+        assert ring.pid_of(2) == 200
+        assert ring.pid_of(99) is None
+
+    def test_duplicate_address_rejected(self):
+        ring = make_ring()
+        with pytest.raises(ValueError):
+            ring.insert(500, 2)
+
+    def test_duplicate_pid_rejected(self):
+        ring = make_ring()
+        with pytest.raises(ValueError):
+            ring.insert(200, 9)
+
+    def test_remove(self):
+        ring = make_ring()
+        ring.remove(2)
+        assert 2 not in ring
+        assert len(ring) == 3
+        ring.remove(2)  # idempotent
+
+    def test_substitute_keeps_pid(self):
+        ring = make_ring()
+        ring.substitute(3, 30)
+        assert 3 not in ring
+        assert ring.pid_of(30) == 300
+        assert len(ring) == 4
+
+    def test_members_sorted(self):
+        ring = RingDirectory()
+        for pid, addr in [(300, 3), (100, 1), (200, 2)]:
+            ring.insert(pid, addr)
+        assert ring.members() == [(100, 1), (200, 2), (300, 3)]
+
+
+class TestQueries:
+    def test_owner_of(self):
+        ring = make_ring()
+        assert ring.owner_of(150) == (200, 2)
+        assert ring.owner_of(200) == (200, 2)  # boundary: owner inclusive
+        assert ring.owner_of(201) == (300, 3)
+        assert ring.owner_of(450) == (100, 1)  # wraps
+        assert ring.owner_of(50) == (100, 1)
+
+    def test_successor_of_pid(self):
+        ring = make_ring()
+        assert ring.successor_of_pid(100) == (200, 2)
+        assert ring.successor_of_pid(400) == (100, 1)  # wraps
+        assert ring.successor_of_pid(150) == (200, 2)
+
+    def test_neighbors_of(self):
+        ring = make_ring()
+        (pp, pa), (sp, sa) = ring.neighbors_of(2)
+        assert (pp, pa) == (100, 1)
+        assert (sp, sa) == (300, 3)
+        (pp, pa), (sp, sa) = ring.neighbors_of(1)
+        assert (pp, pa) == (400, 4)  # wraps backward
+
+    def test_neighbors_of_missing_raises(self):
+        with pytest.raises(LookupError):
+            make_ring().neighbors_of(77)
+
+    def test_empty_ring_queries_raise(self):
+        ring = RingDirectory()
+        with pytest.raises(LookupError):
+            ring.owner_of(5)
+        with pytest.raises(LookupError):
+            ring.successor_of_pid(5)
+
+    def test_single_member_self_neighbors(self):
+        ring = RingDirectory()
+        ring.insert(100, 1)
+        (pp, pa), (sp, sa) = ring.neighbors_of(1)
+        assert pa == sa == 1
+
+    def test_random_member(self):
+        ring = make_ring()
+        rng = np.random.default_rng(0)
+        seen = {ring.random_member(rng)[1] for _ in range(50)}
+        assert seen <= {1, 2, 3, 4}
+        assert len(seen) > 1

@@ -1,0 +1,98 @@
+"""Unit tests for the bootstrap server's decision logic.
+
+The full message flows are covered by the protocol/integration tests;
+these exercise the server's pure decision functions and registry
+handling directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HybridConfig, HybridSystem
+from repro.overlay.messages import ServerUpdate
+
+from .conftest import build_system
+
+
+@pytest.fixture
+def server():
+    # A built system gives us a fully wired server cheaply.
+    return build_system(p_s=0.5, n_peers=20).server
+
+
+class TestRoleDecision:
+    def test_preassignment_wins(self, server):
+        server.preassigned_roles[999] = "s"
+        assert server.decide_role(10.0, 999) == "s"
+
+    def test_preassigned_t_always_honored(self, server):
+        server.preassigned_roles[999] = "t"
+        assert server.decide_role(0.01, 999) == "t"
+
+    def test_tracks_ps_target(self, server):
+        # System at p_s=0.5 with 20 peers: 10 t / 10 s.  Adding one more
+        # keeps the ratio: target_t = round(0.5*21) = 10..11.
+        role = server.decide_role(1.0, 12345)
+        assert role in ("t", "s")
+
+    def test_ps_one_never_makes_tpeers(self):
+        system = build_system(p_s=1.0, n_peers=10)
+        assert system.server.decide_role(100.0, 999) == "s"
+
+
+class TestSNetworkChoice:
+    def test_balanced_picks_smallest(self, server):
+        smallest = min(server.s_counts, key=lambda a: (server.s_counts[a], a))
+        assert server.choose_snetwork(None, None) == smallest
+
+    def test_interest_anchoring_is_sticky(self, server):
+        first = server.choose_snetwork_for_test = None
+        a = server._choose_by_interest("music")
+        b = server._choose_by_interest("music")
+        assert a == b
+        assert server.interest_map["music"] == a
+
+    def test_no_tpeers_raises(self):
+        system = build_system(p_s=0.5, n_peers=20)
+        system.server.s_counts.clear()
+        with pytest.raises(LookupError):
+            system.server.choose_snetwork(None, None)
+
+
+class TestRegistryUpdates:
+    def test_t_join_and_leave(self, server):
+        n = len(server.ring)
+        server.on_ServerUpdate(ServerUpdate(kind="t_join", address=777, p_id=42))
+        assert 777 in server.ring and len(server.ring) == n + 1
+        server.on_ServerUpdate(ServerUpdate(kind="t_leave", address=777, p_id=42))
+        assert 777 not in server.ring and len(server.ring) == n
+
+    def test_duplicate_t_join_idempotent(self, server):
+        server.on_ServerUpdate(ServerUpdate(kind="t_join", address=777, p_id=42))
+        n = len(server.ring)
+        server.on_ServerUpdate(ServerUpdate(kind="t_join", address=777, p_id=42))
+        assert len(server.ring) == n
+
+    def test_handoff_substitutes(self, server):
+        pid, addr = server.ring.members()[0]
+        count = server.s_counts.get(addr, 0)
+        server.on_ServerUpdate(
+            ServerUpdate(kind="t_handoff", address=888, p_id=pid, extra=addr)
+        )
+        assert addr not in server.ring
+        assert server.ring.pid_of(888) == pid
+        assert server.s_counts[888] == max(0, count - 1)
+
+    def test_unknown_kind_rejected(self, server):
+        with pytest.raises(ValueError):
+            server.on_ServerUpdate(ServerUpdate(kind="bogus", address=1))
+
+    def test_s_leave_decrements(self, server):
+        anchor = next(iter(server.s_counts))
+        server.s_counts[anchor] = 5
+        before_total = server.s_count
+        server.on_ServerUpdate(ServerUpdate(kind="s_leave", address=1, extra=anchor))
+        assert server.s_counts[anchor] == 4
+        assert server.s_count == before_total - 1

@@ -1,0 +1,145 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, engine):
+        hits = []
+        engine.call_at(5.0, hits.append, "late")
+        engine.call_at(1.0, hits.append, "early")
+        engine.call_at(3.0, hits.append, "mid")
+        engine.run()
+        assert hits == ["early", "mid", "late"]
+
+    def test_ties_break_by_insertion_order(self, engine):
+        hits = []
+        for i in range(10):
+            engine.call_at(2.0, hits.append, i)
+        engine.run()
+        assert hits == list(range(10))
+
+    def test_clock_advances_to_event_time(self, engine):
+        times = []
+        engine.call_at(4.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [4.5]
+        assert engine.now == 4.5
+
+    def test_call_later_is_relative(self, engine):
+        engine.call_at(10.0, lambda: engine.call_later(2.5, lambda: None))
+        engine.run()
+        assert engine.now == 12.5
+
+    def test_past_scheduling_rejected(self, engine):
+        engine.call_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.call_later(-1.0, lambda: None)
+
+    def test_zero_delay_runs_after_current_instant_events(self, engine):
+        hits = []
+        engine.call_at(1.0, hits.append, "a")
+        engine.call_at(1.0, lambda: engine.call_later(0.0, hits.append, "c"))
+        engine.call_at(1.0, hits.append, "b")
+        engine.run()
+        assert hits == ["a", "b", "c"]
+
+    def test_kwargs_passed(self, engine):
+        out = {}
+        engine.call_later(1.0, out.update, x=1)
+        engine.run()
+        assert out == {"x": 1}
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        hits = []
+        ev = engine.call_at(1.0, hits.append, "x")
+        ev.cancel()
+        engine.run()
+        assert hits == []
+
+    def test_cancel_is_idempotent(self, engine):
+        ev = engine.call_at(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert not ev.pending
+
+    def test_cancel_after_fire_is_noop(self, engine):
+        ev = engine.call_at(1.0, lambda: None)
+        engine.run()
+        ev.cancel()  # must not raise
+
+    def test_pending_count_skips_cancelled(self, engine):
+        evs = [engine.call_at(float(i + 1), lambda: None) for i in range(5)]
+        evs[0].cancel()
+        evs[3].cancel()
+        assert engine.pending_count == 3
+        assert len(engine) == 3
+
+
+class TestRunVariants:
+    def test_run_returns_executed_count(self, engine):
+        for i in range(7):
+            engine.call_at(float(i), lambda: None)
+        assert engine.run() == 7
+        assert engine.events_executed == 7
+
+    def test_step_returns_false_when_empty(self, engine):
+        assert engine.step() is False
+
+    def test_run_until_stops_at_deadline(self, engine):
+        hits = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.call_at(t, hits.append, t)
+        engine.run_until(2.5)
+        assert hits == [1.0, 2.0]
+        assert engine.now == 2.5  # clock lands exactly on the deadline
+
+    def test_run_until_includes_boundary(self, engine):
+        hits = []
+        engine.call_at(2.0, hits.append, "on-boundary")
+        engine.run_until(2.0)
+        assert hits == ["on-boundary"]
+
+    def test_run_until_past_deadline_rejected(self, engine):
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0)
+
+    def test_run_while_predicate(self, engine):
+        hits = []
+        for i in range(10):
+            engine.call_at(float(i), hits.append, i)
+        engine.run_while(lambda: len(hits) < 4)
+        assert hits == [0, 1, 2, 3]
+
+    def test_livelock_guard(self, engine):
+        def reschedule():
+            engine.call_later(0.0, reschedule)
+
+        engine.call_later(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=1000)
+
+    def test_cascading_events(self, engine):
+        hits = []
+
+        def chain(n):
+            hits.append(n)
+            if n > 0:
+                engine.call_later(1.0, chain, n - 1)
+
+        engine.call_later(0.0, chain, 5)
+        engine.run()
+        assert hits == [5, 4, 3, 2, 1, 0]
+        assert engine.now == 5.0

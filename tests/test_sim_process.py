@@ -1,0 +1,106 @@
+"""Unit tests for generator-based processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine, Process
+
+
+def test_process_runs_segments_at_yielded_delays(engine):
+    log = []
+
+    def script():
+        log.append(("a", engine.now))
+        yield 2.0
+        log.append(("b", engine.now))
+        yield 3.0
+        log.append(("c", engine.now))
+
+    p = Process(engine, script())
+    engine.run()
+    assert log == [("a", 0.0), ("b", 2.0), ("c", 5.0)]
+    assert p.finished
+    assert not p.alive
+
+
+def test_yield_none_reschedules_immediately(engine):
+    log = []
+
+    def script():
+        log.append(engine.now)
+        yield None
+        log.append(engine.now)
+
+    Process(engine, script())
+    engine.run()
+    assert log == [0.0, 0.0]
+
+
+def test_interrupt_stops_process(engine):
+    log = []
+
+    def script():
+        log.append("start")
+        yield 5.0
+        log.append("never")
+
+    p = Process(engine, script())
+    engine.call_at(2.0, p.interrupt)
+    engine.run()
+    assert log == ["start"]
+    assert p.finished
+
+
+def test_deferred_start(engine):
+    log = []
+
+    def script():
+        log.append(engine.now)
+        yield 1.0
+
+    p = Process(engine, script(), start=False)
+    engine.run()
+    assert log == []
+
+
+def test_negative_delay_fails_loudly(engine):
+    def script():
+        yield -1.0
+
+    p = Process(engine, script())
+    with pytest.raises(ValueError):
+        engine.run()
+    assert p.failed is not None
+
+
+def test_exception_in_script_surfaces(engine):
+    def script():
+        yield 1.0
+        raise RuntimeError("script bug")
+
+    p = Process(engine, script())
+    with pytest.raises(RuntimeError, match="script bug"):
+        engine.run()
+    assert isinstance(p.failed, RuntimeError)
+
+
+def test_two_processes_interleave(engine):
+    log = []
+
+    def ticker(name, period):
+        for _ in range(3):
+            yield period
+            log.append((name, engine.now))
+
+    Process(engine, ticker("fast", 1.0))
+    Process(engine, ticker("slow", 2.5))
+    engine.run()
+    assert log == [
+        ("fast", 1.0),
+        ("fast", 2.0),
+        ("slow", 2.5),
+        ("fast", 3.0),
+        ("slow", 5.0),
+        ("slow", 7.5),
+    ]

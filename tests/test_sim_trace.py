@@ -1,0 +1,72 @@
+"""Unit tests for the trace bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import TraceBus, TraceRecord
+
+
+def test_inactive_bus_drops_records():
+    bus = TraceBus()
+    bus.publish(1.0, "x", a=1)
+    assert bus.emitted == 0  # publish short-circuits with no listeners
+
+
+def test_category_subscription():
+    bus = TraceBus()
+    got = []
+    bus.subscribe("join", got.append)
+    bus.publish(1.0, "join", peer=3)
+    bus.publish(2.0, "leave", peer=4)
+    assert len(got) == 1
+    assert got[0] == TraceRecord(1.0, "join", {"peer": 3})
+
+
+def test_wildcard_subscription():
+    bus = TraceBus()
+    got = []
+    bus.subscribe("*", got.append)
+    bus.publish(1.0, "a")
+    bus.publish(2.0, "b")
+    assert [r.category for r in got] == ["a", "b"]
+
+
+def test_unsubscribe():
+    bus = TraceBus()
+    got = []
+    bus.subscribe("a", got.append)
+    bus.unsubscribe("a", got.append)
+    bus.publish(1.0, "a")
+    assert got == []
+    with pytest.raises(ValueError):
+        bus.unsubscribe("a", got.append)
+
+
+def test_recording_buffer():
+    bus = TraceBus()
+    bus.start_recording()
+    bus.publish(1.0, "a", k=1)
+    bus.publish(2.0, "b")
+    records = bus.stop_recording()
+    assert [r.category for r in records] == ["a", "b"]
+    # After stop, publishing with no listeners is inert again.
+    bus.publish(3.0, "c")
+    assert bus.records == []
+
+
+def test_recording_with_category_filter():
+    bus = TraceBus()
+    bus.start_recording(categories=["keep"])
+    bus.publish(1.0, "keep")
+    bus.publish(2.0, "drop")
+    assert [r.category for r in bus.stop_recording()] == ["keep"]
+
+
+def test_multiple_subscribers_same_category():
+    bus = TraceBus()
+    a, b = [], []
+    bus.subscribe("x", a.append)
+    bus.subscribe("x", b.append)
+    bus.publish(1.0, "x")
+    assert len(a) == len(b) == 1
