@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Substrate perf-regression bench: time a fixed Fig.-3-style workload.
+
+Runs ``run_cell(HybridConfig(p_s=0.3), Scale.<scale>())`` -- build a
+hybrid system, populate it, then drive the lookup waves -- ``--repeats``
+times in-process and reports best (min wall) and median, plus the
+speedup over the pre-optimisation baseline recorded below.  Results are
+written to ``BENCH_substrate.json`` at the repo root.
+
+Protocol notes
+--------------
+* The workload is fully deterministic: every repeat must execute the
+  exact same number of events and reproduce the golden lookup metrics,
+  so the bench doubles as a determinism check.
+* Wall-clock on shared machines is noisy (we observed ±40% between
+  otherwise identical runs), hence best-of-N: the minimum is the run
+  least disturbed by the machine, and the baseline figures below were
+  captured with the same best-of-N protocol, interleaved A/B against
+  the optimised tree in the same time window.
+* ``REPRO_PROFILE=1`` additionally wraps the first repeat in cProfile
+  and prints the hottest functions to stderr (see :mod:`repro.perf`).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py                 # medium
+    PYTHONPATH=src python scripts/bench_perf.py --scale quick
+    PYTHONPATH=src python scripts/bench_perf.py --smoke         # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.hybrid import HybridConfig
+from repro.experiments.common import Scale, run_cell
+from repro.perf import PerfReport, maybe_profile, profiling_enabled
+
+# Pre-optimisation baseline (commit 4dba637, the tree before the
+# tuple-heap engine / batched transport rewrite), measured with this
+# script's exact protocol -- best of 5 in-process repeats, interleaved
+# with the optimised tree -- on the same machine as the "current"
+# figures first recorded in BENCH_substrate.json.
+BASELINE = {
+    "quick": {"wall_seconds": 0.3171, "events_per_second": 116_815},
+    "medium": {"wall_seconds": 2.4673, "events_per_second": 106_097},
+}
+
+# Deterministic invariants of the workload at each scale: total events
+# executed and the golden lookup metrics (same seed => same run).
+EXPECTED = {
+    "quick": {
+        "events": 37_040,
+        "mean_latency": 3121.8109594982875,
+        "connum": 17_056,
+    },
+    "medium": {
+        "events": 261_776,
+        "mean_latency": 10661.615417341618,
+        "connum": 123_750,
+    },
+}
+
+WORKLOAD = "run_cell(HybridConfig(p_s=0.3), Scale.{scale}())"
+
+
+def bench_once(scale: Scale, profile: bool):
+    """One timed repeat; returns (PerfReport, CellResult).
+
+    ``run_cell`` owns the whole engine lifecycle, so the counters are
+    harvested from the finished system rather than via repro.perf's
+    ``measure`` context (which wants the engine up front).  Profiled
+    repeats still report their wall-clock, but it is not comparable to
+    unprofiled ones.
+    """
+    import time
+
+    out = {}
+    t0 = time.perf_counter()
+    if profile:
+        with maybe_profile():
+            result = run_cell(HybridConfig(p_s=0.3), scale, system_out=out)
+    else:
+        result = run_cell(HybridConfig(p_s=0.3), scale, system_out=out)
+    wall = time.perf_counter() - t0
+    system = out["system"]
+    transport = system.transport
+    report = PerfReport(
+        wall_seconds=wall,
+        events_executed=system.engine.events_executed,
+        messages_sent=transport.messages_sent,
+        messages_delivered=transport.messages_delivered,
+        messages_dropped=transport.messages_dropped,
+        message_type_counts=dict(transport.message_type_counts),
+    )
+    return report, result
+
+
+def run_bench(scale_name: str, repeats: int, check: bool) -> dict:
+    scale = Scale.quick() if scale_name == "quick" else Scale.medium()
+    expected = EXPECTED[scale_name]
+    walls = []
+    reports = []
+    for i in range(repeats):
+        report, result = bench_once(scale, profile=(i == 0 and profiling_enabled()))
+        if check:
+            assert report.events_executed == expected["events"], (
+                f"determinism break: executed {report.events_executed} events, "
+                f"expected {expected['events']}"
+            )
+            assert result.mean_latency == expected["mean_latency"], result.mean_latency
+            assert result.connum == expected["connum"], result.connum
+        walls.append(report.wall_seconds)
+        reports.append(report)
+        print(
+            f"  repeat {i + 1}/{repeats}: {report.wall_seconds:.4f}s "
+            f"({report.events_per_second:,.0f} events/s)"
+        )
+    best_wall = min(walls)
+    events = reports[0].events_executed
+    best_evps = events / best_wall
+    baseline = BASELINE[scale_name]
+    speedup = best_evps / baseline["events_per_second"]
+    return {
+        "scale": scale_name,
+        "workload": WORKLOAD.format(scale=scale_name),
+        "protocol": f"best of {repeats} in-process repeats (min wall-clock)",
+        "repeats": repeats,
+        "wall_seconds_all": [round(w, 4) for w in walls],
+        "events_executed": events,
+        "messages_sent": reports[0].messages_sent,
+        "messages_delivered": reports[0].messages_delivered,
+        "best": {
+            "wall_seconds": round(best_wall, 4),
+            "events_per_second": round(best_evps),
+        },
+        "median": {
+            "wall_seconds": round(statistics.median(walls), 4),
+            "events_per_second": round(events / statistics.median(walls)),
+        },
+        "baseline_pre_pr": baseline,
+        "speedup_events_per_second": round(speedup, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "medium"),
+        default="medium",
+        help="workload scale (default: medium, the acceptance gate)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed repeats (default: 5)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: quick scale, 2 repeats, no JSON written",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_substrate.json",
+        help="result file (default: BENCH_substrate.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    if args.smoke:
+        args.scale = "quick"
+        args.repeats = min(args.repeats, 2)
+
+    print(f"benchmarking {WORKLOAD.format(scale=args.scale)} ...")
+    entry = run_bench(args.scale, args.repeats, check=True)
+    print(
+        f"best: {entry['best']['wall_seconds']}s "
+        f"({entry['best']['events_per_second']:,} events/s); "
+        f"pre-PR baseline: {entry['baseline_pre_pr']['events_per_second']:,} events/s; "
+        f"speedup: {entry['speedup_events_per_second']}x"
+    )
+
+    if not args.smoke:
+        existing = {}
+        if args.output.exists():
+            existing = json.loads(args.output.read_text())
+        existing.setdefault("bench", "substrate throughput, Fig.-3-style workload")
+        existing.setdefault("scales", {})
+        existing["scales"][args.scale] = entry
+        args.output.write_text(json.dumps(existing, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -152,8 +152,7 @@ class DataPlaneMixin:
                 ttl=ttl, attempt=pending.attempts,
             )
             self.seen_queries.add((qid, pending.attempts))
-            for n in self.flood_targets():
-                self.send(n, flood)
+            self.send_many(self.flood_targets(), flood)
             return
         # Remote: try a bypass shortcut first (Section 5.4), else ride
         # the t-network.
@@ -214,8 +213,7 @@ class DataPlaneMixin:
                 d_id=d_id, key=key, origin=self.address, query_id=qid,
                 ttl=ttl, attempt=pending.attempts,
             )
-            for n in self.flood_targets():
-                self.send(n, flood)
+            self.send_many(self.flood_targets(), flood)
             return
         request = LookupRequest(
             d_id=d_id, key=key, origin=self.address, query_id=qid,
@@ -237,13 +235,18 @@ class DataPlaneMixin:
             return
         self.queries.contact(msg.query_id)
         self.note_query_activity(msg.sender, msg.query_id)
-        cached = self.cache_lookup(msg.key)
-        if cached is not None:
-            # Surrogate copy: answer without riding the rest of the ring
-            # (the caching scheme's load diversion).
-            self.cache_hit_answer(msg.origin, msg.query_id, cached)
-            return
-        if not self.owns(msg.d_id):
+        if self.cache is not None:
+            cached = self.cache.get(msg.key, self.engine.now)
+            if cached is not None:
+                # Surrogate copy: answer without riding the rest of the
+                # ring (the caching scheme's load diversion).
+                self.cache_hit_answer(msg.origin, msg.query_id, cached)
+                return
+        # self.owns(msg.d_id), inlined: one test per ring hop.
+        pred = self.predecessor_pid
+        mask = self.idspace._mask
+        span = (self.p_id - pred) & mask
+        if not (span == 0 or 0 < ((msg.d_id - pred) & mask) <= span):
             self.send(self.ring_next_hop(msg.d_id), msg)
             return
         item = self.database.get(msg.key)
@@ -261,8 +264,7 @@ class DataPlaneMixin:
             query_id=msg.query_id, ttl=msg.ttl, attempt=msg.attempt,
         )
         self.seen_queries.add((msg.query_id, msg.attempt))
-        for n in self.flood_targets():
-            self.send(n, flood)
+        self.send_many(self.flood_targets(), flood)
 
     def on_FloodQuery(self, msg: FloodQuery) -> None:
         """Gnutella-style flood step inside the s-network tree."""
@@ -275,7 +277,9 @@ class DataPlaneMixin:
         self.seen_queries.add(seen_key)
         self.queries.contact(msg.query_id)
         self.note_query_activity(msg.sender, msg.query_id)
-        item = self.database.get(msg.key) or self.cache_lookup(msg.key)
+        item = self.database.get(msg.key)
+        if item is None and self.cache is not None:
+            item = self.cache.get(msg.key, self.engine.now)
         if item is not None:
             # "the peer will stop flooding and send the data item to the
             # peer requesting the data item directly."
@@ -286,8 +290,7 @@ class DataPlaneMixin:
                 d_id=msg.d_id, key=msg.key, origin=msg.origin,
                 query_id=msg.query_id, ttl=msg.ttl - 1, attempt=msg.attempt,
             )
-            for n in self.flood_targets(exclude=msg.sender):
-                self.send(n, fwd)
+            self.send_many(self.flood_targets(exclude=msg.sender), fwd)
 
     def _answer(self, origin: int, qid: int, item) -> None:
         self.answers_served += 1
@@ -337,7 +340,11 @@ class DataPlaneMixin:
         if self.role != "t":
             self.send(self.t_peer, msg)
             return
-        if not self.owns(msg.d_id):
+        # self.owns(msg.d_id), inlined: one test per ring hop.
+        pred = self.predecessor_pid
+        mask = self.idspace._mask
+        span = (self.p_id - pred) & mask
+        if not (span == 0 or 0 < ((msg.d_id - pred) & mask) <= span):
             self.send(self.ring_next_hop(msg.d_id), msg)
             return
         if self.config.replication_factor > 1:

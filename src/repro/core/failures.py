@@ -63,6 +63,7 @@ class LivenessMixin:
         if not self.alive:
             return
         now = self.engine.now
+        targets = []
         for n in self._liveness_neighbors():
             # Bandwidth optimisation (Section 3.2.2): a recent
             # acknowledgment already proved our liveness to this
@@ -73,7 +74,9 @@ class LivenessMixin:
             if now - self._last_liveness_sent.get(n, float("-inf")) < self.config.hello_period:
                 continue
             self._last_liveness_sent[n] = now
-            self.send(n, Hello())
+            targets.append(n)
+        if targets:
+            self.send_many(targets, Hello())
 
     # ------------------------------------------------------------------
     # Neighbor watching
@@ -109,7 +112,10 @@ class LivenessMixin:
         """A data query arrived: the sender is alive, and per the paper
         we acknowledge it (suppressed under heavy load) so that crash
         detection reacts faster when queries are flowing."""
-        self.note_alive(sender)
+        if self.neighbor_timers:  # note_alive, inlined for the hot path
+            timer = self.neighbor_timers.get(sender)
+            if timer is not None:
+                timer.reset()
         if not self.config.heartbeats_enabled or sender == self.address:
             return
         if self.engine.now >= self.ack_suppress_until:

@@ -32,9 +32,15 @@ SUCCESS = "success"
 FAILED = "failed"
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryRecord:
-    """Lifecycle of one lookup operation."""
+    """Lifecycle of one lookup operation.
+
+    Contact counters live in flat arrays on the registry (indexed by
+    query id) so the per-message :meth:`QueryRegistry.contact` hot path
+    is two list operations; the record exposes them as read-only
+    properties for compatibility.
+    """
 
     query_id: int
     origin: int
@@ -44,12 +50,31 @@ class QueryRecord:
     local: bool  # did the d_id fall in the origin's own s-network?
     status: str = PENDING
     end_time: float = float("nan")
-    contacts: int = 0
-    duplicate_contacts: int = 0
     holder: int = -1
     refloods: int = 0
     via_bypass: bool = False
     hops: int = 0  # overlay hops travelled by the winning answer path
+    registry: Optional["QueryRegistry"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def contacts(self) -> int:
+        """Peers contacted on behalf of this lookup (registry-backed)."""
+        reg = self.registry
+        if reg is None:
+            return 0
+        i = self.query_id - reg._base
+        return reg._contacts[i] if 0 <= i < len(reg._contacts) else 0
+
+    @property
+    def duplicate_contacts(self) -> int:
+        """Duplicate flood receipts for this lookup (registry-backed)."""
+        reg = self.registry
+        if reg is None:
+            return 0
+        i = self.query_id - reg._base
+        return reg._duplicates[i] if 0 <= i < len(reg._duplicates) else 0
 
     @property
     def latency(self) -> float:
@@ -89,6 +114,13 @@ class QueryRegistry:
     def __init__(self) -> None:
         self._records: Dict[int, QueryRecord] = {}
         self._next_id = 0
+        # Contact counters, indexed by ``query_id - _base``.  Query ids
+        # are assigned densely, so flat lists beat a dict of records on
+        # the per-message hot path; ``_base`` tracks how many ids were
+        # retired by reset() (the id counter stays monotone).
+        self._base = 0
+        self._contacts: List[int] = []
+        self._duplicates: List[int] = []
         self.unresolved = 0
 
     # ------------------------------------------------------------------
@@ -100,9 +132,11 @@ class QueryRegistry:
         self._next_id += 1
         rec = QueryRecord(
             query_id=qid, origin=origin, key=key, d_id=d_id,
-            start_time=time, local=local,
+            start_time=time, local=local, registry=self,
         )
         self._records[qid] = rec
+        self._contacts.append(0)
+        self._duplicates.append(0)
         self.unresolved += 1
         return rec
 
@@ -114,15 +148,16 @@ class QueryRegistry:
 
         Counted regardless of the lookup's current status: flood packets
         still in flight after the answer arrived consumed bandwidth,
-        which is exactly what connum approximates.
+        which is exactly what connum approximates.  Unknown (or retired)
+        query ids are ignored, as before.
         """
-        rec = self._records.get(query_id)
-        if rec is None:
-            return
+        i = query_id - self._base
         if duplicate:
-            rec.duplicate_contacts += 1
+            counts = self._duplicates
         else:
-            rec.contacts += 1
+            counts = self._contacts
+        if 0 <= i < len(counts):
+            counts[i] += 1
 
     def succeed(self, query_id: int, time: float, holder: int, hops: int = 0) -> bool:
         """Mark success (first answer wins); returns False if too late."""
@@ -163,29 +198,50 @@ class QueryRegistry:
     def reset(self) -> None:
         """Drop all records (keeps the id counter monotone)."""
         self._records.clear()
+        self._base = self._next_id
+        self._contacts.clear()
+        self._duplicates.clear()
         self.unresolved = 0
 
     def stats(self) -> QueryStats:
-        """Aggregate the paper's metrics over all finished lookups."""
-        recs = list(self._records.values())
-        total = len(recs)
-        successes = [r for r in recs if r.status == SUCCESS]
-        failures = sum(1 for r in recs if r.status == FAILED)
-        pending = sum(1 for r in recs if r.status == PENDING)
-        finished = len(successes) + failures
-        latencies = np.array([r.latency for r in successes], dtype=float)
-        connum = sum(r.contacts for r in recs)
-        duplicates = sum(r.duplicate_contacts for r in recs)
-        local = sum(1 for r in recs if r.local)
+        """Aggregate the paper's metrics over all finished lookups.
+
+        Single pass over the records; contact totals come straight from
+        the flat counter arrays.
+        """
+        total = len(self._records)
+        successes = failures = pending = local = 0
+        latencies: List[float] = []
+        for r in self._records.values():
+            status = r.status
+            if status == SUCCESS:
+                successes += 1
+                latencies.append(r.end_time - r.start_time)
+            elif status == FAILED:
+                failures += 1
+            else:
+                pending += 1
+            if r.local:
+                local += 1
+        finished = successes + failures
+        connum = sum(self._contacts)
+        duplicates = sum(self._duplicates)
+        if latencies:
+            arr = np.array(latencies, dtype=float)
+            mean_latency = float(arr.mean())
+            median_latency = float(np.median(arr))
+            p95_latency = float(np.percentile(arr, 95))
+        else:
+            mean_latency = median_latency = p95_latency = float("nan")
         return QueryStats(
             total=total,
-            successes=len(successes),
+            successes=successes,
             failures=failures,
             pending=pending,
             failure_ratio=(failures / finished) if finished else 0.0,
-            mean_latency=float(latencies.mean()) if latencies.size else float("nan"),
-            median_latency=float(np.median(latencies)) if latencies.size else float("nan"),
-            p95_latency=float(np.percentile(latencies, 95)) if latencies.size else float("nan"),
+            mean_latency=mean_latency,
+            median_latency=median_latency,
+            p95_latency=p95_latency,
             connum=connum,
             mean_contacts_per_lookup=(connum / total) if total else 0.0,
             duplicate_contacts=duplicates,

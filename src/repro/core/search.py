@@ -118,8 +118,7 @@ class SearchMixin:
             prefix=prefix, origin=self.address, query_id=qid, ttl=self.config.ttl
         )
         self.seen_queries.add((qid, 0))
-        for n in self.flood_targets():
-            self.send(n, query)
+        self.send_many(self.flood_targets(), query)
         return qid
 
     def on_PartialQuery(self, msg: PartialQuery) -> None:
@@ -153,8 +152,7 @@ class SearchMixin:
                 prefix=msg.prefix, origin=msg.origin,
                 query_id=msg.query_id, ttl=msg.ttl - 1,
             )
-            for n in self.flood_targets(exclude=msg.sender):
-                self.send(n, fwd)
+            self.send_many(self.flood_targets(exclude=msg.sender), fwd)
 
     def on_PartialResult(self, msg: PartialResult) -> None:
         state = self.pending_searches.get(msg.query_id)

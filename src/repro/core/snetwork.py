@@ -143,8 +143,7 @@ class SNetworkMixin:
         """Graceful s-peer departure (Section 3.2.2)."""
         neighbors = self.tree_neighbors()
         notice = SLeaveNotify(leaver=self.address)
-        for n in neighbors:
-            self.send(n, notice)
+        self.send_many(neighbors, notice)
         self.send(
             self.server_address,
             ServerUpdate(kind="s_leave", address=self.address, extra=self.t_peer),
@@ -215,8 +214,7 @@ class SNetworkMixin:
             self._start_rejoin()
         # Our whole subtree must learn the new t-peer.
         update = TPeerUpdate(new_t=msg.new_t, old_t=old_t)
-        for child in self.children:
-            self.send(child, update)
+        self.send_many(self.children, update)
 
     def on_TPeerUpdate(self, msg: TPeerUpdate) -> None:
         """The anchoring t-peer changed (handoff/promotion)."""
@@ -226,6 +224,4 @@ class SNetworkMixin:
         if self.cp == msg.old_t:
             self.cp = msg.new_t
             self.watch_neighbor(msg.new_t)
-        for child in self.children:
-            if child != msg.sender:
-                self.send(child, msg)
+        self.send_many([c for c in self.children if c != msg.sender], msg)

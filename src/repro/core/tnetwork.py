@@ -53,10 +53,15 @@ class TNetworkMixin:
     # Ring routing
     # ------------------------------------------------------------------
     def owns(self, d_id: int) -> bool:
-        """Does this t-peer's segment ``(pred_pid, p_id]`` cover d_id?"""
-        return self.idspace.owner_segment_contains(
-            d_id, self.predecessor_pid, self.p_id
-        )
+        """Does this t-peer's segment ``(pred_pid, p_id]`` cover d_id?
+
+        Inlined ``IdSpace.owner_segment_contains``: this predicate runs
+        once per ring hop, which is most delivered messages.
+        """
+        mask = self.idspace._mask
+        pred = self.predecessor_pid
+        span = (self.p_id - pred) & mask
+        return span == 0 or 0 < ((d_id - pred) & mask) <= span
 
     def closest_preceding(self, target: int) -> int:
         """Finger-table hop: live finger closest before ``target``.
@@ -211,8 +216,7 @@ class TNetworkMixin:
                 ),
             )
         collect = CollectLoad(new_address=target, new_pid=hi, pred_pid=lo)
-        for child in self.children:
-            self.send(child, collect)
+        self.send_many(self.children, collect)
 
     def on_CollectLoad(self, msg: CollectLoad) -> None:
         """s-network member's part of a load transfer."""
@@ -228,9 +232,7 @@ class TNetworkMixin:
                     reason="join",
                 ),
             )
-        for child in self.children:
-            if child != msg.sender:
-                self.send(child, msg)
+        self.send_many([c for c in self.children if c != msg.sender], msg)
 
     def on_LoadTransfer(self, msg: LoadTransfer) -> None:
         if msg.transfer_id >= 0 and self.departing:
@@ -385,8 +387,7 @@ class TNetworkMixin:
                 ),
             )
         update = TPeerUpdate(new_t=self.address, old_t=old_t)
-        for child in self.children:
-            self.send(child, update)
+        self.send_many(self.children, update)
 
     def on_RoleHandoffAck(self, msg: RoleHandoffAck) -> None:
         """Old t-peer: hand over queued control work, then depart."""
@@ -454,8 +455,7 @@ class TNetworkMixin:
         self.segment_lo = msg.pre_pid
         # The departed segment merges into ours; tell our s-network.
         grow = SegmentGrow(new_lo=msg.pre_pid)
-        for child in self.children:
-            self.send(child, grow)
+        self.send_many(self.children, grow)
         self.watch_neighbor(msg.pre)
         self.send(msg.leaver, TLeaveAck())
 
@@ -553,6 +553,4 @@ class TNetworkMixin:
     def on_SegmentGrow(self, msg: SegmentGrow) -> None:
         """s-network member: widen the local ownership test, forward."""
         self.segment_lo = msg.new_lo
-        for child in self.children:
-            if child != msg.sender:
-                self.send(child, msg)
+        self.send_many([c for c in self.children if c != msg.sender], msg)

@@ -47,6 +47,11 @@ class Router:
             raise ValueError("physical topology is not connected")
         self._dist = dist
         self._pred = pred
+        # Lazily materialized plain-list rows of the distance matrix.
+        # Scalar numpy indexing costs ~10x a list index on the transport
+        # hot path; ``tolist`` yields the exact same IEEE doubles, so
+        # delays (and therefore event ordering) are bit-identical.
+        self._rows: dict[int, List[float]] = {}
 
     @property
     def n(self) -> int:
@@ -54,7 +59,22 @@ class Router:
 
     def latency(self, src: int, dst: int) -> float:
         """Propagation delay (ms) of the shortest path ``src -> dst``."""
-        return float(self._dist[src, dst])
+        row = self._rows.get(src)
+        if row is None:
+            row = self._rows[src] = self._dist[src].tolist()
+        return row[dst]
+
+    def latency_row(self, src: int) -> List[float]:
+        """Row ``src`` of the latency matrix as a plain list (cached).
+
+        One vectorized slice + ``tolist`` per source host, then O(1)
+        C-level indexing per destination -- the bulk-delay primitive
+        behind :meth:`Transport.send_many`.  Treat as read-only.
+        """
+        row = self._rows.get(src)
+        if row is None:
+            row = self._rows[src] = self._dist[src].tolist()
+        return row
 
     def latency_matrix(self) -> np.ndarray:
         """The full (n, n) latency matrix (a view; do not mutate)."""

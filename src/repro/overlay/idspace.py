@@ -32,6 +32,10 @@ class IdSpace:
     def __post_init__(self) -> None:
         if not (1 <= self.bits <= 128):
             raise ValueError(f"bits must be in [1, 128], got {self.bits}")
+        # The space size is a power of two, so all modular reductions
+        # below are bitmasks.  Cached here (bypassing frozen) because
+        # interval tests run millions of times per experiment.
+        object.__setattr__(self, "_mask", (1 << self.bits) - 1)
 
     @property
     def size(self) -> int:
@@ -65,11 +69,11 @@ class IdSpace:
     # ------------------------------------------------------------------
     def normalize(self, x: int) -> int:
         """Reduce ``x`` into the space."""
-        return x % self.size
+        return x & self._mask
 
     def distance_cw(self, a: int, b: int) -> int:
         """Clockwise distance from ``a`` to ``b`` (0 when equal)."""
-        return (b - a) % self.size
+        return (b - a) & self._mask
 
     def in_interval(
         self,
@@ -87,26 +91,36 @@ class IdSpace:
         circle minus the point (single-peer ring semantics): every
         other point is inside.
         """
-        x, left, right = self.normalize(x), self.normalize(left), self.normalize(right)
+        mask = self._mask
+        x &= mask
+        left &= mask
+        right &= mask
         if left == right:
             if x == left:
                 return closed_left or closed_right
             return True
-        dx = self.distance_cw(left, x)
-        dr = self.distance_cw(left, right)
         if x == left:
             return closed_left
         if x == right:
             return closed_right
-        return 0 < dx < dr
+        # x differs from both endpoints, so the strict comparison below
+        # is exactly the original ``0 < dist(left, x) < dist(left, right)``.
+        return ((x - left) & mask) < ((right - left) & mask)
 
     def owner_segment_contains(self, d_id: int, predecessor_id: int, owner_id: int) -> bool:
         """Does the segment ``(predecessor, owner]`` contain ``d_id``?
 
         This is the ownership test used by both data placement and
-        lookup routing.
+        lookup routing; it is the single hottest predicate in the
+        system, hence the flattened arithmetic (equivalent to
+        ``in_interval(..., closed_right=True)``).
         """
-        return self.in_interval(d_id, predecessor_id, owner_id, closed_right=True)
+        mask = self._mask
+        d = (d_id - predecessor_id) & mask
+        r = (owner_id - predecessor_id) & mask
+        if r == 0:  # predecessor == owner: the whole circle
+            return True
+        return 0 < d <= r
 
     def midpoint_cw(self, a: int, b: int) -> int:
         """The clockwise midpoint of the arc from ``a`` to ``b``.

@@ -83,7 +83,7 @@ CONTROL_SIZE: float = 1.0
 ITEM_SIZE: float = 10.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """Base class: transport metadata common to all messages."""
 
@@ -91,16 +91,16 @@ class Message:
     sender: int = field(default=-1, init=False)
     hop_count: int = field(default=0, init=False)
 
-    @property
-    def size(self) -> float:
-        """Size in abstract units; overridden by bulk messages."""
-        return CONTROL_SIZE
+    # Size in abstract units.  A plain class attribute (deliberately
+    # unannotated, so not a dataclass field): control messages share
+    # this constant, bulk messages override it with a @property.
+    size = CONTROL_SIZE
 
 
 # ----------------------------------------------------------------------
 # Bootstrap server exchanges (Section 3.2)
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class ServerJoin(Message):
     """New peer asks the well-known server to join the system."""
 
@@ -110,7 +110,7 @@ class ServerJoin(Message):
     coordinate: Optional[Tuple[int, ...]] = None  # landmark bin (Section 5.2)
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerJoinReply(Message):
     """Server's answer: assigned role, id material and an entry peer."""
 
@@ -120,7 +120,7 @@ class ServerJoinReply(Message):
     landmarks: Tuple[int, ...] = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class CrashReport(Message):
     """A peer reports a suspected crashed neighbor to the server.
 
@@ -134,7 +134,7 @@ class CrashReport(Message):
     reporter_is_speer: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class PromoteToTPeer(Message):
     """Server tells the winning s-peer to take over a crashed t-peer."""
 
@@ -149,7 +149,7 @@ class PromoteToTPeer(Message):
 # ----------------------------------------------------------------------
 # t-network membership (Sections 3.2.1, 3.3)
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class TJoinRequest(Message):
     """Join request forwarded along the ring to the insertion point."""
 
@@ -157,7 +157,7 @@ class TJoinRequest(Message):
     new_pid: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TJoinSetNeighbors(Message):
     """Leg 1 of the join triangle: pre -> new, carrying suc's address."""
 
@@ -168,7 +168,7 @@ class TJoinSetNeighbors(Message):
     assigned_pid: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TJoinNotifySuccessor(Message):
     """Leg 2 of the join triangle: new -> suc."""
 
@@ -177,19 +177,19 @@ class TJoinNotifySuccessor(Message):
     pre: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class TJoinAck(Message):
     """Leg 3 of the join triangle: suc -> pre, completing the join."""
 
     new_address: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TLeaveRequest(Message):
     """Internal kick-off for a voluntary t-peer leave (self-addressed)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class TLeaveToPre(Message):
     """Leg 1 of the leave triangle: leaver -> pre, carrying suc."""
 
@@ -198,7 +198,7 @@ class TLeaveToPre(Message):
     suc_pid: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TLeaveToSuc(Message):
     """Leg 2 of the leave triangle: pre -> suc, naming the leaver."""
 
@@ -207,12 +207,12 @@ class TLeaveToSuc(Message):
     pre_pid: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TLeaveAck(Message):
     """Leg 3 of the leave triangle: suc -> leaver."""
 
 
-@dataclass
+@dataclass(slots=True)
 class FingerSubstitute(Message):
     """Replace ``old`` with ``new`` in finger tables (role handoff).
 
@@ -227,7 +227,7 @@ class FingerSubstitute(Message):
     circulate: bool = False  # forward around the ring (finger mode)
 
 
-@dataclass
+@dataclass(slots=True)
 class RoleHandoff(Message):
     """A leaving t-peer transfers its role to a chosen s-peer.
 
@@ -249,7 +249,7 @@ class RoleHandoff(Message):
         return CONTROL_SIZE + ITEM_SIZE * len(self.items)
 
 
-@dataclass
+@dataclass(slots=True)
 class RoleHandoffAck(Message):
     """New t-peer confirms the handoff to the leaving t-peer."""
 
@@ -257,14 +257,14 @@ class RoleHandoffAck(Message):
 # ----------------------------------------------------------------------
 # s-network membership (Section 3.2.2)
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class SJoinRequest(Message):
     """Join request walking a random branch until degree < delta."""
 
     new_address: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SJoinAccept(Message):
     """Connect point accepts the new s-peer.
 
@@ -278,14 +278,14 @@ class SJoinAccept(Message):
     segment_lo: int = 0  # lower (exclusive) bound of the s-network's segment
 
 
-@dataclass
+@dataclass(slots=True)
 class SLeaveNotify(Message):
     """Graceful s-peer leave notification to each neighbor."""
 
     leaver: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class SRejoinRequest(Message):
     """A disconnected s-peer (cp left/crashed) rejoins via the t-peer.
 
@@ -302,12 +302,12 @@ class SRejoinRequest(Message):
 # ----------------------------------------------------------------------
 # Liveness (Section 3.2.2)
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class Hello(Message):
     """Periodic heartbeat to a neighbor."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Ack(Message):
     """Acknowledgment of a data query; doubles as a liveness proof."""
 
@@ -317,7 +317,7 @@ class Ack(Message):
 # ----------------------------------------------------------------------
 # Data plane (Section 3.4)
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class StoreRequest(Message):
     """Insert a (key, value) item; forwarded along the ring if remote."""
 
@@ -326,12 +326,12 @@ class StoreRequest(Message):
     d_id: int = 0
     origin: int = -1
 
-    @property
-    def size(self) -> float:
-        return CONTROL_SIZE + ITEM_SIZE
+    # Constant size: a plain class attribute avoids a property call on
+    # the transport hot path.
+    size = CONTROL_SIZE + ITEM_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class SpreadStore(Message):
     """Placement scheme 2: random spreading among t-peer's neighbors."""
 
@@ -340,12 +340,12 @@ class SpreadStore(Message):
     d_id: int = 0
     origin: int = -1
 
-    @property
-    def size(self) -> float:
-        return CONTROL_SIZE + ITEM_SIZE
+    # Constant size: a plain class attribute avoids a property call on
+    # the transport hot path.
+    size = CONTROL_SIZE + ITEM_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupRequest(Message):
     """Lookup travelling the ring toward the owning segment."""
 
@@ -357,7 +357,7 @@ class LookupRequest(Message):
     attempt: int = 0  # reflood counter (re-keys flood deduplication)
 
 
-@dataclass
+@dataclass(slots=True)
 class FloodQuery(Message):
     """TTL-bounded flood inside an s-network tree."""
 
@@ -369,7 +369,7 @@ class FloodQuery(Message):
     attempt: int = 0  # reflood counter (re-keys flood deduplication)
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkQuery(Message):
     """A random walker inside an s-network (alternative to flooding).
 
@@ -385,7 +385,7 @@ class WalkQuery(Message):
     ttl: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class PartialQuery(Message):
     """Keyword/prefix search flood (Section 5.3).
 
@@ -401,7 +401,7 @@ class PartialQuery(Message):
     ttl: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class PartialResult(Message):
     """One peer's matches for a partial search."""
 
@@ -414,7 +414,7 @@ class PartialResult(Message):
         return CONTROL_SIZE + ITEM_SIZE * len(self.matches)
 
 
-@dataclass
+@dataclass(slots=True)
 class DataFound(Message):
     """Positive lookup answer sent directly to the querying peer.
 
@@ -430,12 +430,12 @@ class DataFound(Message):
     holder_pid: int = 0
     holder_pred_pid: int = 0
 
-    @property
-    def size(self) -> float:
-        return CONTROL_SIZE + ITEM_SIZE
+    # Constant size: a plain class attribute avoids a property call on
+    # the transport hot path.
+    size = CONTROL_SIZE + ITEM_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadTransfer(Message):
     """Bulk movement of data items (join load transfer / load dump).
 
@@ -455,7 +455,7 @@ class LoadTransfer(Message):
         return CONTROL_SIZE + ITEM_SIZE * len(self.items)
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreAck(Message):
     """Final holder confirms a store to the originating peer.
 
@@ -473,14 +473,14 @@ class StoreAck(Message):
     holder_pred_pid: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadTransferAck(Message):
     """Receipt for an acked LoadTransfer (departure-time dumps)."""
 
     transfer_id: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class CollectLoad(Message):
     """Load-transfer instruction flooded through an s-network tree.
 
@@ -497,7 +497,7 @@ class CollectLoad(Message):
     pred_pid: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SegmentGrow(Message):
     """s-network-wide notice that the segment's lower bound moved down.
 
@@ -509,7 +509,7 @@ class SegmentGrow(Message):
     new_lo: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TPeerUpdate(Message):
     """s-network-wide notice that the anchoring t-peer changed.
 
@@ -522,7 +522,7 @@ class TPeerUpdate(Message):
     old_t: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class RingRepairRequest(Message):
     """A t-peer asks the server for fresh ring pointers.
 
@@ -534,7 +534,7 @@ class RingRepairRequest(Message):
     suspect: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class RingRepairReply(Message):
     """Server's authoritative answer to a ring repair request."""
 
@@ -544,7 +544,7 @@ class RingRepairReply(Message):
     successor_pid: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RingNotify(Message):
     """Chord-style notify: "I am your ring neighbor at this p_id".
 
@@ -560,7 +560,7 @@ class RingNotify(Message):
     claim: str = "pred"
 
 
-@dataclass
+@dataclass(slots=True)
 class RejoinRedirect(Message):
     """Server points a losing crash reporter at the replacement t-peer.
 
@@ -571,7 +571,7 @@ class RejoinRedirect(Message):
     new_t: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerUpdate(Message):
     """Registry maintenance notice to the bootstrap server.
 
@@ -587,7 +587,7 @@ class ServerUpdate(Message):
     extra: int = -1  # handoff: old address; s_join/s_leave: t-peer address
 
 
-@dataclass
+@dataclass(slots=True)
 class CachePush(Message):
     """Origin hands a freshly fetched popular item to its t-peer.
 
@@ -600,12 +600,12 @@ class CachePush(Message):
     value: Any = None
     d_id: int = 0
 
-    @property
-    def size(self) -> float:
-        return CONTROL_SIZE + ITEM_SIZE
+    # Constant size: a plain class attribute avoids a property call on
+    # the transport hot path.
+    size = CONTROL_SIZE + ITEM_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaPush(Message):
     """A durable extra copy of an item (replication extension).
 
@@ -619,15 +619,15 @@ class ReplicaPush(Message):
     d_id: int = 0
     remaining: int = 0
 
-    @property
-    def size(self) -> float:
-        return CONTROL_SIZE + ITEM_SIZE
+    # Constant size: a plain class attribute avoids a property call on
+    # the transport hot path.
+    size = CONTROL_SIZE + ITEM_SIZE
 
 
 # ----------------------------------------------------------------------
 # BitTorrent-style s-network (Section 5.5)
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class BTRegister(Message):
     """s-peer reports a newly stored item to its tracker t-peer."""
 
@@ -636,7 +636,7 @@ class BTRegister(Message):
     holder: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class BTLookup(Message):
     """Lookup sent directly to the tracker t-peer (no flooding)."""
 
@@ -646,7 +646,7 @@ class BTLookup(Message):
     query_id: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class BTLookupReply(Message):
     """Tracker's answer: which peer holds the item (-1 = not found)."""
 
@@ -655,7 +655,7 @@ class BTLookupReply(Message):
     holder: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class BTFetch(Message):
     """Origin fetches the item directly from the holder."""
 

@@ -8,6 +8,7 @@ peer and the Gnutella baseline peer all inherit from it.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Dict, Optional, Type
 
 from ..sim.engine import Engine
@@ -57,9 +58,15 @@ class BasePeer:
         self.alive = True
         self.messages_received = 0
         self._dispatch = self._build_dispatch()
+        # Shadow the send() method with a pre-bound partial: one less
+        # Python frame on the hottest call path in the system.
+        self.send = partial(transport.send, self)
 
     # ------------------------------------------------------------------
-    def _build_dispatch(self) -> Dict[str, str]:
+    def _build_dispatch(self) -> Dict[str, Callable[[Message], None]]:
+        # The name -> method-name map is discovered once per class; each
+        # instance then binds it to itself so dispatch is a single dict
+        # lookup yielding a bound method (no per-message getattr).
         cls = type(self)
         cached = BasePeer._dispatch_cache.get(cls)
         if cached is None:
@@ -69,23 +76,40 @@ class BasePeer:
                 if name.startswith("on_") and callable(getattr(cls, name))
             }
             BasePeer._dispatch_cache[cls] = cached
-        return cached
+        return {msg_name: getattr(self, meth) for msg_name, meth in cached.items()}
 
     # ------------------------------------------------------------------
     def send(self, dst_address: int, msg: Message) -> bool:
-        """Send a message through the transport."""
+        """Send a message through the transport.
+
+        Instances shadow this with a bound partial of the same
+        signature (see ``__init__``); the method remains as the
+        documented interface.
+        """
         return self.transport.send(self, dst_address, msg)
+
+    def send_many(self, dst_addresses, msg: Message) -> int:
+        """Fan one message out to many destinations (see Transport.send_many)."""
+        return self.transport.send_many(self, dst_addresses, msg)
 
     def receive(self, msg: Message) -> None:
         """Dispatch an incoming message to its ``on_*`` handler."""
         if not self.alive:
             return
         self.messages_received += 1
-        handler_name = self._dispatch.get(type(msg).__name__)
-        if handler_name is None:
-            self.unhandled(msg)
-            return
-        getattr(self, handler_name)(msg)
+        dispatch = self._dispatch
+        cls = type(msg)
+        handler = dispatch.get(cls)
+        if handler is None:
+            # First message of this class: resolve by name, then memoize
+            # under the class itself so steady-state dispatch hashes a
+            # type instead of a string.
+            handler = dispatch.get(cls.__name__)
+            if handler is None:
+                self.unhandled(msg)
+                return
+            dispatch[cls] = handler
+        handler(msg)
 
     def unhandled(self, msg: Message) -> None:
         """Hook for messages with no handler; loud by default.
@@ -100,8 +124,8 @@ class BasePeer:
 
     # ------------------------------------------------------------------
     def emit(self, category: str, **payload: Any) -> None:
-        """Publish a trace record (no-op without an active bus)."""
-        if self.trace is not None and self.trace.active:
+        """Publish a trace record (no-op unless someone wants ``category``)."""
+        if self.trace is not None and self.trace.wants(category):
             self.trace.publish(self.engine.now, category, peer=self.address, **payload)
 
     def crash(self) -> None:

@@ -10,11 +10,27 @@ shortest path between the two hosts, so its delay is
 
 Messages to dead or unknown addresses are silently dropped -- that is
 exactly how a crashed peer manifests to the rest of the system.
+
+Two delivery paths share one delay model:
+
+* :meth:`Transport.send` -- one message, one destination; the delay
+  computation is inlined and feeds the engine's no-handle fast tier.
+* :meth:`Transport.send_many` -- one message fanned out to many
+  destinations (floods, tree broadcasts).  Propagation delays come from
+  a single cached row slice of the router's latency matrix and all
+  deliveries are bulk-inserted into the event heap in one call.
+
+Both paths memoize per-address access capacities (invalidated on
+``register``/``unregister``) and per-source-host latency rows, and both
+preserve the exact delay values and sequence-number assignment order of
+the equivalent loop of single sends -- deterministic runs stay
+bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Protocol
+from heapq import heappush
+from typing import Callable, Dict, Iterable, List, Optional, Protocol
 
 from ..net.routing import Router
 from ..net.stress import LinkStress
@@ -48,14 +64,15 @@ class Transport:
         ``default_latency`` (useful for protocol unit tests).
     capacity_of:
         Optional map from actor address to access-link capacity; enables
-        the heterogeneity-aware transfer-delay term.
+        the heterogeneity-aware transfer-delay term.  Results are
+        memoized per address until that address re-registers.
     stress:
         Optional link-stress accountant (records every physical link a
         message crosses); implies per-message path extraction, so leave
         it off for large sweeps unless stress is being measured.
     trace:
         Optional trace bus; publishes a ``transport.send`` record per
-        message when active.
+        message when someone subscribed to that category.
     """
 
     def __init__(
@@ -78,9 +95,24 @@ class Transport:
         self.default_latency = default_latency
         self.min_latency = min_latency
         self._actors: Dict[int, Actor] = {}
+        self._cap_cache: Dict[int, float] = {}
+        self._rows: Dict[int, List[float]] = {}
+        # Memoized end-to-end delays keyed by (src addr, dst addr,
+        # size): overlay links are traversed over and over (every ring
+        # walk crosses the same edges), and the delay of a link is a
+        # pure function of the two endpoints and the message size.
+        # Invalidated wholesale whenever the registry changes.
+        self._delay_cache: Dict[tuple, float] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        # Opt-in per-message-type accounting (see repro.perf); one dict
+        # update per send when enabled, a single attribute test when not.
+        self._count_types = False
+        self.message_type_counts: Dict[str, int] = {}
+        # wants("transport.send") cached against the bus version.
+        self._trace_version = -1
+        self._trace_sends = False
 
     # ------------------------------------------------------------------
     # Registry
@@ -90,10 +122,16 @@ class Transport:
         if actor.address in self._actors:
             raise ValueError(f"address {actor.address} already registered")
         self._actors[actor.address] = actor
+        # The address may be reused by a different peer (churn): the
+        # memoized capacities and delays no longer apply.
+        self._cap_cache.pop(actor.address, None)
+        self._delay_cache.clear()
 
     def unregister(self, address: int) -> None:
         """Remove an actor (it stops receiving even in-flight messages)."""
         self._actors.pop(address, None)
+        self._cap_cache.pop(address, None)
+        self._delay_cache.clear()
 
     def actor(self, address: int) -> Optional[Actor]:
         """The actor at ``address``, or None."""
@@ -107,21 +145,43 @@ class Transport:
         return len(self._actors)
 
     # ------------------------------------------------------------------
+    # Perf accounting
+    # ------------------------------------------------------------------
+    def enable_type_counts(self) -> None:
+        """Start counting sends per message-type name (see repro.perf)."""
+        self._count_types = True
+
+    def disable_type_counts(self) -> None:
+        self._count_types = False
+
+    # ------------------------------------------------------------------
     # Delay model
     # ------------------------------------------------------------------
     def delay(self, src: Actor, dst: Actor, size: float) -> float:
         """Delivery delay for a message of ``size`` between two actors."""
         if self._router is not None:
-            prop = self._router.latency(src.host, dst.host)
+            prop = self._latency_row(src.host)[dst.host]
         else:
             prop = self.default_latency
         prop = max(prop, self.min_latency)
         if self._capacity_of is not None:
             bottleneck = min(
-                self._capacity_of(src.address), self._capacity_of(dst.address)
+                self._capacity(src.address), self._capacity(dst.address)
             )
             prop += size / bottleneck
         return prop
+
+    def _latency_row(self, host: int) -> List[float]:
+        row = self._rows.get(host)
+        if row is None:
+            row = self._rows[host] = self._router.latency_row(host)
+        return row
+
+    def _capacity(self, address: int) -> float:
+        cap = self._cap_cache.get(address)
+        if cap is None:
+            cap = self._cap_cache[address] = self._capacity_of(address)
+        return cap
 
     # ------------------------------------------------------------------
     # Delivery
@@ -138,21 +198,148 @@ class Transport:
         if dst is None or not dst.alive:
             self.messages_dropped += 1
             return False
-        msg.sender = src.address
-        delay = self.delay(src, dst, msg.size)
-        if self._stress is not None and self._router is not None:
-            self._stress.record_path(self._router.path_edges(src.host, dst.host))
-        if self._trace is not None and self._trace.active:
-            self._trace.publish(
-                self._engine.now,
-                "transport.send",
-                src=src.address,
-                dst=dst_address,
-                kind=type(msg).__name__,
-                delay=delay,
-            )
-        self._engine.call_later(delay, self._deliver, dst_address, msg)
+        src_address = src.address
+        msg.sender = src_address
+        size = msg.size
+        # Delay model, inlined and memoized: this runs once per
+        # simulated message, and most messages retrace known links.
+        delay_key = (src_address, dst_address, size)
+        prop = self._delay_cache.get(delay_key)
+        router = self._router
+        if prop is None:
+            if router is not None:
+                rows = self._rows
+                src_host = src.host
+                row = rows.get(src_host)
+                if row is None:
+                    row = rows[src_host] = router.latency_row(src_host)
+                prop = row[dst.host]
+            else:
+                prop = self.default_latency
+            if prop < self.min_latency:
+                prop = self.min_latency
+            capacity_of = self._capacity_of
+            if capacity_of is not None:
+                cache = self._cap_cache
+                cap_src = cache.get(src_address)
+                if cap_src is None:
+                    cap_src = cache[src_address] = capacity_of(src_address)
+                cap_dst = cache.get(dst_address)
+                if cap_dst is None:
+                    cap_dst = cache[dst_address] = capacity_of(dst_address)
+                prop += size / (cap_dst if cap_dst < cap_src else cap_src)
+            self._delay_cache[delay_key] = prop
+        if self._stress is not None and router is not None:
+            self._stress.record_path(router.path_edges(src.host, dst.host))
+        trace = self._trace
+        if trace is not None:
+            if trace.version != self._trace_version:
+                self._trace_version = trace.version
+                self._trace_sends = trace.wants("transport.send")
+            if self._trace_sends:
+                trace.publish(
+                    self._engine.now,
+                    "transport.send",
+                    src=src.address,
+                    dst=dst_address,
+                    kind=type(msg).__name__,
+                    delay=prop,
+                )
+        if self._count_types:
+            name = type(msg).__name__
+            counts = self.message_type_counts
+            counts[name] = counts.get(name, 0) + 1
+        # Engine.schedule_after, inlined (one frame per simulated
+        # message): ``prop >= min_latency > 0`` so the negative-delay
+        # guard is statically satisfied.
+        engine = self._engine
+        heappush(engine._heap, (engine._now + prop, engine._seq, self._deliver, (dst_address, msg)))
+        engine._seq += 1
+        engine._live += 1
         return True
+
+    def send_many(self, src: Actor, dst_addresses: Iterable[int], msg: Message) -> int:
+        """Fan ``msg`` out from ``src`` to every address in ``dst_addresses``.
+
+        The flood/broadcast primitive: one latency-matrix row slice
+        supplies all propagation delays and the deliveries are inserted
+        into the event heap in a single batch.  Destinations are
+        processed in iteration order, so counters, delays, and event
+        ordering are identical to the equivalent loop of :meth:`send`
+        calls.  The *same* message object is delivered to every
+        destination -- receivers must treat messages as immutable, which
+        the protocol code already does.
+
+        Returns the number of destinations actually scheduled (dead or
+        unknown addresses are dropped, as in :meth:`send`).
+        """
+        actors = self._actors
+        router = self._router
+        stress = self._stress
+        capacity_of = self._capacity_of
+        src_address = src.address
+        src_host = src.host
+        msg.sender = src_address
+        size = msg.size
+        if router is not None:
+            rows = self._rows
+            row = rows.get(src_host)
+            if row is None:
+                row = rows[src_host] = router.latency_row(src_host)
+        else:
+            row = None
+        min_latency = self.min_latency
+        default_latency = self.default_latency
+        cache = self._cap_cache
+        if capacity_of is not None:
+            cap_src = cache.get(src_address)
+            if cap_src is None:
+                cap_src = cache[src_address] = capacity_of(src_address)
+        trace = self._trace
+        tracing = trace is not None and trace.wants("transport.send")
+        now = self._engine.now
+        deliver = self._deliver
+        entries = []
+        append = entries.append
+        kind = type(msg).__name__
+        sent = 0
+        dropped = 0
+        for dst_address in dst_addresses:
+            dst = actors.get(dst_address)
+            if dst is None or not dst.alive:
+                dropped += 1
+                continue
+            prop = row[dst.host] if row is not None else default_latency
+            if prop < min_latency:
+                prop = min_latency
+            if capacity_of is not None:
+                cap_dst = cache.get(dst_address)
+                if cap_dst is None:
+                    cap_dst = cache[dst_address] = capacity_of(dst_address)
+                prop += size / (cap_dst if cap_dst < cap_src else cap_src)
+            if stress is not None and router is not None:
+                stress.record_path(router.path_edges(src_host, dst.host))
+            if tracing:
+                trace.publish(
+                    now,
+                    "transport.send",
+                    src=src_address,
+                    dst=dst_address,
+                    kind=kind,
+                    delay=prop,
+                )
+            append((now + prop, deliver, (dst_address, msg)))
+            sent += 1
+        attempted = sent + dropped
+        self.messages_sent += attempted
+        if dropped:
+            self.messages_dropped += dropped
+        if self._count_types and attempted:
+            counts = self.message_type_counts
+            counts[kind] = counts.get(kind, 0) + attempted
+        if entries:
+            self._engine.schedule_batch(entries)
+        return sent
 
     def _deliver(self, dst_address: int, msg: Message) -> None:
         dst = self._actors.get(dst_address)

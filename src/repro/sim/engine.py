@@ -6,10 +6,22 @@ scheduled at absolute or relative simulated times and executed in
 timestamp order.  Ties are broken by insertion order so that runs are
 fully deterministic for a given seed.
 
-The engine is deliberately minimal and allocation-light: an event is a
-small object carrying ``(time, seq, fn, args)`` plus a ``cancelled``
-flag.  Cancellation is lazy -- cancelled events stay in the heap and are
-skipped when popped -- which keeps :meth:`Engine.cancel` O(1).
+The hot path is allocation-free beyond one tuple per event: the heap
+holds plain ``(time, seq, fn, args)`` tuples, so ordering comparisons
+are C-level tuple comparisons instead of Python ``__lt__`` calls.  Only
+the *cancellable* minority of events (timers, heartbeats) allocates an
+:class:`Event` handle; those ride the heap as ``(time, seq, None,
+event)`` entries and are skipped lazily when popped after cancellation,
+which keeps :meth:`Event.cancel` O(1).  A live-event counter makes
+:attr:`Engine.pending_count` O(1) as well.
+
+Two scheduling tiers:
+
+* :meth:`Engine.schedule_at` / :meth:`Engine.schedule_after` /
+  :meth:`Engine.schedule_batch` -- the fast fire-and-forget tier used
+  for message delivery (no handle, not cancellable);
+* :meth:`Engine.call_at` / :meth:`Engine.call_later` -- the handle tier
+  for anything that may need :meth:`Event.cancel`.
 
 Example
 -------
@@ -27,7 +39,8 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Iterable, Optional, Tuple
 
 __all__ = ["Event", "Engine", "SimulationError"]
 
@@ -41,7 +54,7 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A scheduled callback.
+    """A scheduled, cancellable callback handle.
 
     Instances are returned by :meth:`Engine.call_at` /
     :meth:`Engine.call_later` and act as handles: holding one allows the
@@ -54,19 +67,21 @@ class Event:
     seq:
         Monotone sequence number used to break ties deterministically.
     fn:
-        The callback; ``None`` once the event is cancelled.
+        The callback; ``None`` once the event fired or was cancelled.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "kwargs", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "kwargs", "cancelled", "_engine")
 
     def __init__(
         self,
+        engine: "Engine",
         time: float,
         seq: int,
         fn: Callable[..., Any],
         args: tuple,
         kwargs: dict,
     ) -> None:
+        self._engine = engine
         self.time = time
         self.seq = seq
         self.fn: Optional[Callable[..., Any]] = fn
@@ -79,6 +94,9 @@ class Event:
 
         Idempotent; cancelling an event that already fired is a no-op.
         """
+        if not self.cancelled and self.fn is not None:
+            # Still pending: it no longer counts as live.
+            self._engine._live -= 1
         self.cancelled = True
         # Drop references early so cancelled events pin no memory while
         # they wait to be popped off the heap.
@@ -90,9 +108,6 @@ class Event:
     def pending(self) -> bool:
         """True while the event is scheduled and not cancelled/fired."""
         return not self.cancelled and self.fn is not None
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "cancelled" if self.cancelled else "pending"
@@ -114,14 +129,18 @@ class Engine:
       the same heap.
     * ``max_events`` guards (in :meth:`run`) catch accidental infinite
       event cascades in tests.
+    * Heap entries are ``(time, seq, fn, args)`` tuples; ``fn is None``
+      marks a cancellable :class:`Event` carried in the ``args`` slot.
+      ``(time, seq)`` is unique, so tuple comparison never reaches the
+      callback.
     """
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        self._heap: list = []
         self._seq = 0
+        self._live = 0
         self._events_executed = 0
-        self._running = False
 
     # ------------------------------------------------------------------
     # Clock and introspection
@@ -138,17 +157,79 @@ class Engine:
 
     @property
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still in the heap."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still in the heap (O(1))."""
+        return self._live
 
     def __len__(self) -> int:
-        return self.pending_count
+        return self._live
 
     # ------------------------------------------------------------------
-    # Scheduling
+    # Scheduling -- fast tier (fire-and-forget, not cancellable)
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, fn: Callable[..., Any], args: tuple = ()) -> None:
+        """Schedule ``fn(*args)`` at absolute ``time`` without a handle.
+
+        The fast path for bulk traffic (message delivery): pushes one
+        plain tuple, allocates no :class:`Event`.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        heappush(self._heap, (time, self._seq, fn, args))
+        self._seq += 1
+        self._live += 1
+
+    def schedule_after(self, delay: float, fn: Callable[..., Any], args: tuple = ()) -> None:
+        """Schedule ``fn(*args)`` ``delay`` time units from now (no handle)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        self._seq += 1
+        self._live += 1
+
+    def schedule_batch(
+        self, entries: Iterable[Tuple[float, Callable[..., Any], tuple]]
+    ) -> int:
+        """Bulk-insert ``(time, fn, args)`` entries; returns the count.
+
+        Sequence numbers are assigned in iteration order, so a batch is
+        observationally identical to the equivalent sequence of
+        :meth:`schedule_at` calls.  When the batch is large relative to
+        the heap the entries are appended and the heap re-heapified
+        (``heapq.merge``-style O(n + k) instead of O(k log n)).
+        """
+        heap = self._heap
+        seq = self._seq
+        now = self._now
+        staged = []
+        for time, fn, args in entries:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule event at t={time} before current time t={now}"
+                )
+            staged.append((time, seq, fn, args))
+            seq += 1
+        if not staged:
+            return 0
+        if len(staged) > 8 and len(staged) * 4 >= len(heap):
+            heap.extend(staged)
+            heapify(heap)
+        else:
+            for entry in staged:
+                heappush(heap, entry)
+        self._seq = seq
+        self._live += len(staged)
+        return len(staged)
+
+    # ------------------------------------------------------------------
+    # Scheduling -- handle tier (cancellable)
     # ------------------------------------------------------------------
     def call_at(self, time: float, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
         """Schedule ``fn(*args, **kwargs)`` at absolute time ``time``.
+
+        Returns a cancellable :class:`Event` handle; prefer
+        :meth:`schedule_at` for traffic that never cancels.
 
         Raises
         ------
@@ -159,9 +240,10 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
-        ev = Event(time, self._seq, fn, args, kwargs)
+        ev = Event(self, time, self._seq, fn, args, kwargs)
+        heappush(self._heap, (time, self._seq, None, ev))
         self._seq += 1
-        heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def call_later(self, delay: float, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
@@ -181,6 +263,10 @@ class Engine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    # The dispatch logic is intentionally inlined into each run loop:
+    # one Python frame per event is the difference between the engine
+    # and the protocol dominating the profile.
+
     def step(self) -> bool:
         """Execute the single next live event.
 
@@ -189,17 +275,26 @@ class Engine:
         bool
             True if an event was executed, False if the heap was empty.
         """
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled or ev.fn is None:
-                continue
-            self._now = ev.time
-            fn, args, kwargs = ev.fn, ev.args, ev.kwargs
-            # Mark fired before invoking so re-entrant inspection via the
-            # handle sees a consistent state.
-            ev.fn = None
+        heap = self._heap
+        while heap:
+            time, _seq, fn, args = heappop(heap)
+            if fn is None:
+                ev = args
+                if ev.cancelled:
+                    continue  # lazily discarded; not counted as executed
+                fn, args, kwargs = ev.fn, ev.args, ev.kwargs
+                # Mark fired before invoking so re-entrant inspection via
+                # the handle sees a consistent state.
+                ev.fn = None
+                self._now = time
+                self._live -= 1
+                self._events_executed += 1
+                fn(*args, **kwargs)
+                return True
+            self._now = time
+            self._live -= 1
             self._events_executed += 1
-            fn(*args, **kwargs)
+            fn(*args)
             return True
         return False
 
@@ -222,13 +317,38 @@ class Engine:
             If the cap is exceeded (almost always an event livelock,
             e.g. a timer rescheduling itself unconditionally).
         """
+        heap = self._heap
+        pop = heappop
         executed = 0
-        while self.step():
-            executed += 1
-            if executed > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; likely an event livelock"
-                )
+        # See run_while for the deferred _live/_events_executed
+        # accounting.
+        try:
+            while heap:
+                time, _seq, fn, args = pop(heap)
+                if fn is None:
+                    ev = args
+                    if ev.cancelled:
+                        continue
+                    fn, args, kwargs = ev.fn, ev.args, ev.kwargs
+                    ev.fn = None
+                    self._now = time
+                    executed += 1
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; likely an event livelock"
+                        )
+                    fn(*args, **kwargs)
+                else:
+                    self._now = time
+                    executed += 1
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; likely an event livelock"
+                        )
+                    fn(*args)
+        finally:
+            self._live -= executed
+            self._events_executed += executed
         return executed
 
     def run_until(self, deadline: float, max_events: int = 50_000_000) -> int:
@@ -236,25 +356,49 @@ class Engine:
 
         The clock is left at ``deadline`` even if the heap empties
         earlier, matching the common "simulate for T seconds" idiom.
+        Each live event is popped exactly once: the loop peeks only at
+        the cheap tuple head, then dispatches the popped entry directly
+        instead of delegating to :meth:`step` (which would re-pop).
         """
         if deadline < self._now:
             raise SimulationError(
                 f"deadline t={deadline} is before current time t={self._now}"
             )
+        heap = self._heap
+        pop = heappop
         executed = 0
-        while self._heap:
-            nxt = self._heap[0]
-            if nxt.cancelled or nxt.fn is None:
-                heapq.heappop(self._heap)
+        while heap:
+            entry = heap[0]
+            fn = entry[2]
+            if fn is None and entry[3].cancelled:
+                pop(heap)  # lazily discard; costs no dispatch
                 continue
-            if nxt.time > deadline:
+            if entry[0] > deadline:
                 break
-            self.step()
-            executed += 1
-            if executed > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} before deadline"
-                )
+            pop(heap)
+            if fn is None:
+                ev = entry[3]
+                fn, args, kwargs = ev.fn, ev.args, ev.kwargs
+                ev.fn = None
+                self._now = entry[0]
+                self._live -= 1
+                self._events_executed += 1
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before deadline"
+                    )
+                fn(*args, **kwargs)
+            else:
+                self._now = entry[0]
+                self._live -= 1
+                self._events_executed += 1
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before deadline"
+                    )
+                fn(*entry[3])
         self._now = max(self._now, deadline)
         return executed
 
@@ -268,11 +412,38 @@ class Engine:
         Useful for "pump the network until this lookup resolves" loops in
         tests and experiment drivers.
         """
+        heap = self._heap
+        pop = heappop
         executed = 0
-        while predicate() and self.step():
-            executed += 1
-            if executed > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} in run_while"
-                )
+        # _live/_events_executed are maintained via `executed` and
+        # written back on exit (including via callbacks raising):
+        # callbacks observe a momentarily stale pending_count, never a
+        # wrong clock.
+        try:
+            while predicate() and heap:
+                time, _seq, fn, args = pop(heap)
+                if fn is None:
+                    ev = args
+                    if ev.cancelled:
+                        continue
+                    fn, args, kwargs = ev.fn, ev.args, ev.kwargs
+                    ev.fn = None
+                    self._now = time
+                    executed += 1
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} in run_while"
+                        )
+                    fn(*args, **kwargs)
+                else:
+                    self._now = time
+                    executed += 1
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} in run_while"
+                        )
+                    fn(*args)
+        finally:
+            self._live -= executed
+            self._events_executed += executed
         return executed

@@ -43,6 +43,9 @@ class TraceBus:
         self._record_buffer: Optional[List[TraceRecord]] = None
         self._record_categories: Optional[set] = None
         self.emitted = 0
+        # Bumped whenever the set of listeners changes; hot-path
+        # publishers cache their wants() answer against it.
+        self.version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -50,12 +53,26 @@ class TraceBus:
         """True if anyone is listening (publish is a no-op otherwise)."""
         return bool(self._subs) or bool(self._any_subs) or self._record_buffer is not None
 
+    def wants(self, category: str) -> bool:
+        """True if publishing ``category`` would reach any listener.
+
+        Unlike :attr:`active` (bus-global), this is per-category: a bus
+        with only a ``"data.stored"`` subscriber does not want
+        ``"transport.send"`` records, so hot-path publishers can skip
+        building the payload entirely.  Conservatively True while
+        recording or when a wildcard subscriber is installed.
+        """
+        if self._any_subs or self._record_buffer is not None:
+            return True
+        return bool(self._subs.get(category))
+
     def subscribe(self, category: str, fn: Subscriber) -> None:
         """Register ``fn`` for records of ``category`` ("*" = all)."""
         if category == "*":
             self._any_subs.append(fn)
         else:
             self._subs[category].append(fn)
+        self.version += 1
 
     def unsubscribe(self, category: str, fn: Subscriber) -> None:
         """Remove a subscriber; raises ValueError if absent."""
@@ -63,18 +80,21 @@ class TraceBus:
             self._any_subs.remove(fn)
         else:
             self._subs[category].remove(fn)
+        self.version += 1
 
     # ------------------------------------------------------------------
     def start_recording(self, categories: Optional[List[str]] = None) -> None:
         """Begin buffering records (optionally only given categories)."""
         self._record_buffer = []
         self._record_categories = set(categories) if categories else None
+        self.version += 1
 
     def stop_recording(self) -> List[TraceRecord]:
         """Stop buffering and return what was captured."""
         buf = self._record_buffer or []
         self._record_buffer = None
         self._record_categories = None
+        self.version += 1
         return buf
 
     @property

@@ -67,7 +67,11 @@ class TestDispatch:
 
     def test_dispatch_table_cached_per_class(self, wired):
         engine, transport, a, b = wired
-        assert a._dispatch is b._dispatch  # same class -> same table
+        # Reflection happens once per class; instances bind the shared
+        # name -> method-name map to themselves.
+        assert type(a)._dispatch_cache[type(a)] is type(b)._dispatch_cache[type(b)]
+        assert a._dispatch.keys() == b._dispatch.keys()
+        assert a._dispatch["Hello"].__self__ is a
 
     def test_emit_noop_without_listeners(self, wired):
         engine, transport, a, b = wired

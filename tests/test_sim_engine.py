@@ -143,3 +143,74 @@ class TestRunVariants:
         engine.run()
         assert hits == [5, 4, 3, 2, 1, 0]
         assert engine.now == 5.0
+
+
+class TestFastTier:
+    """The no-handle scheduling tier (schedule_at / schedule_after /
+    schedule_batch) shares one clock, one sequence counter and one heap
+    with the handle tier, so events from both interleave exactly by
+    (time, insertion order)."""
+
+    def test_schedule_at_orders_with_handles(self, engine):
+        hits = []
+        engine.call_at(2.0, hits.append, "handle@2")
+        engine.schedule_at(1.0, hits.append, ("fast@1",))
+        engine.schedule_at(2.0, hits.append, ("fast@2",))
+        engine.run()
+        assert hits == ["fast@1", "handle@2", "fast@2"]
+
+    def test_schedule_after_is_relative(self, engine):
+        engine.schedule_at(10.0, engine.schedule_after, (2.5, lambda: None))
+        engine.run()
+        assert engine.now == 12.5
+
+    def test_fast_tier_rejects_past_and_negative(self, engine):
+        engine.call_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-0.5, lambda: None)
+
+    def test_schedule_batch_preserves_entry_order(self, engine):
+        hits = []
+        n = engine.schedule_batch(
+            [(2.0, hits.append, (i,)) for i in range(20)]
+            + [(1.0, hits.append, ("first",))]
+        )
+        assert n == 21
+        assert engine.pending_count == 21
+        engine.run()
+        assert hits == ["first"] + list(range(20))
+
+    def test_schedule_batch_interleaves_with_singles(self, engine):
+        hits = []
+        engine.schedule_at(2.0, hits.append, ("before",))
+        engine.schedule_batch([(2.0, hits.append, (i,)) for i in range(3)])
+        engine.schedule_at(2.0, hits.append, ("after",))
+        engine.run()
+        assert hits == ["before", 0, 1, 2, "after"]
+
+    def test_live_count_tracks_both_tiers(self, engine):
+        ev = engine.call_at(3.0, lambda: None)
+        engine.schedule_at(1.0, lambda: None)
+        assert engine.pending_count == 2
+        assert len(engine) == 2
+        ev.cancel()
+        assert engine.pending_count == 1
+        assert engine.run() == 1
+
+    def test_run_until_pops_each_live_event_once(self, engine):
+        # Regression: the old implementation peeked and re-popped, so a
+        # cancellation storm could double-count; each live event must
+        # dispatch exactly once and cancelled handles must not dispatch.
+        hits = []
+        keep = [engine.call_at(float(t), hits.append, t) for t in (1.0, 2.0, 3.0)]
+        keep[1].cancel()
+        engine.schedule_at(2.5, hits.append, (2.5,))
+        engine.run_until(2.75)
+        assert hits == [1.0, 2.5]
+        assert engine.events_executed == 2
+        assert engine.pending_count == 1
+        engine.run_until(3.5)
+        assert hits == [1.0, 2.5, 3.0]
