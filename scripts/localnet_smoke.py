@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""CI smoke test: 5-node localnet + put/get through the repro CLI.
+
+Boots 1 bootstrap + 2 t-peers + 2 s-peers in-process (real TCP on
+ephemeral localhost ports), then drives one ``put`` and one ``get``
+through ``python -m repro`` *subprocesses* -- the full CLI -> client
+codec -> node path -- and asserts clean shutdown.  Exits 0 and prints
+PASS on success; any failure is a non-zero exit for CI.
+
+Run from the repo root: ``PYTHONPATH=src python scripts/localnet_smoke.py``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runtime import LocalNet  # noqa: E402
+
+
+async def run_cli(*argv: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src")]
+        + env.get("PYTHONPATH", "").split(os.pathsep)
+    )
+    proc = await asyncio.create_subprocess_exec(
+        sys.executable, "-m", "repro", *argv,
+        stdout=asyncio.subprocess.PIPE,
+        stderr=asyncio.subprocess.PIPE,
+        env=env,
+    )
+    out, err = await asyncio.wait_for(proc.communicate(), timeout=30)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"repro {' '.join(argv)} failed ({proc.returncode}): {err.decode()}"
+        )
+    return out.decode()
+
+
+async def main() -> None:
+    net = LocalNet(t_peers=2, s_peers=2, seed=5)
+    await net.start(join_timeout=20)
+    await net.wait_converged(timeout=20)
+    print("converged:", net.describe())
+
+    putter = net.nodes[0]
+    put_out = await run_cli(
+        "put", "smoke.key", "smoke-value", "--node", f"{putter.host}:{putter.port}"
+    )
+    print("put ->", put_out.strip())
+    await asyncio.sleep(0.3)
+
+    # Get through a node whose segment does not own the key, so the
+    # lookup crosses the t-network over real sockets.
+    remote = net.node_for_key("smoke.key", putter)
+    get_out = await run_cli(
+        "get", "smoke.key", "--node", f"{remote.host}:{remote.port}"
+    )
+    payload = json.loads(get_out)
+    assert payload["value"] == "smoke-value", payload
+    print("get ->", get_out.strip())
+
+    status_out = await run_cli(
+        "status", "--node", f"{net.bootstrap.host}:{net.bootstrap.port}"
+    )
+    directory = json.loads(status_out)
+    assert directory["t_count"] == 2 and directory["s_count"] == 2, directory
+
+    await net.stop()
+    leftovers = [t for t in asyncio.all_tasks() if t is not asyncio.current_task()]
+    assert not leftovers, f"leaked tasks: {leftovers}"
+    print("PASS")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -17,7 +17,9 @@ evaluation relied on, rebuilt in pure Python:
 * :mod:`repro.analysis` -- Section 4 closed-form models (Fig. 3);
 * :mod:`repro.workloads` -- key/churn/scenario generators;
 * :mod:`repro.metrics` -- distribution and report helpers;
-* :mod:`repro.experiments` -- one driver per paper table/figure.
+* :mod:`repro.experiments` -- one driver per paper table/figure;
+* :mod:`repro.runtime` -- the same protocol over real asyncio TCP
+  (live nodes, bootstrap daemon, wire codec, localnet harness).
 
 Quickstart::
 
@@ -33,6 +35,11 @@ Quickstart::
 
 from .core import HybridConfig, HybridPeer, HybridSystem, QueryStats
 
-__version__ = "1.0.0"
+try:  # installed: single source of truth is the package metadata
+    from importlib.metadata import PackageNotFoundError, version
+
+    __version__ = version("repro")
+except PackageNotFoundError:  # running from a source checkout
+    __version__ = "1.1.0"
 
 __all__ = ["HybridConfig", "HybridPeer", "HybridSystem", "QueryStats", "__version__"]

@@ -9,14 +9,24 @@
   (latency / failure ratio / connum) per point;
 * ``repro analyze`` -- print the Section 4 closed-form tables.
 
-Every command takes ``--seed``; runs are bit-reproducible.
+Live-runtime verbs (real TCP; see :mod:`repro.runtime`):
+
+* ``repro serve`` -- run the bootstrap/directory daemon;
+* ``repro node --join HOST:PORT`` -- run one live peer;
+* ``repro put KEY VALUE --node HOST:PORT`` / ``repro get KEY --node
+  HOST:PORT`` -- store/fetch through a running node;
+* ``repro status --node HOST:PORT`` -- JSON snapshot of a node or the
+  bootstrap directory.
+
+Every simulator command takes ``--seed``; runs are bit-reproducible.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .core import HybridConfig, HybridSystem
 from .experiments import Scale
@@ -33,6 +43,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'An Efficient Hybrid Peer-to-Peer System for "
             "Distributed Data Sharing' (Yang & Yang)"
         ),
+    )
+    from . import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -77,7 +92,43 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--peers", type=int, default=1000)
     analyze.add_argument("--points", type=int, default=11)
 
+    serve = sub.add_parser("serve", help="run the live bootstrap daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7401)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--ps", type=float, default=0.5, help="fraction of s-peers")
+
+    node = sub.add_parser("node", help="run one live peer")
+    node.add_argument("--join", required=True, metavar="HOST:PORT",
+                      help="bootstrap daemon endpoint")
+    node.add_argument("--host", default="127.0.0.1")
+    node.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    node.add_argument("--seed", type=int, default=0)
+    node.add_argument("--capacity", type=float, default=1.0)
+
+    put = sub.add_parser("put", help="store KEY=VALUE through a live node")
+    put.add_argument("key")
+    put.add_argument("value")
+    put.add_argument("--node", required=True, metavar="HOST:PORT")
+    put.add_argument("--timeout", type=float, default=10.0)
+
+    get = sub.add_parser("get", help="look KEY up through a live node")
+    get.add_argument("key")
+    get.add_argument("--node", required=True, metavar="HOST:PORT")
+    get.add_argument("--timeout", type=float, default=15.0)
+
+    status = sub.add_parser("status", help="JSON status of a live node/server")
+    status.add_argument("--node", required=True, metavar="HOST:PORT")
+    status.add_argument("--timeout", type=float, default=10.0)
+
     return parser
+
+
+def _parse_endpoint(text: str) -> Tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {text!r}")
+    return host or "127.0.0.1", int(port)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -200,6 +251,99 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Live-runtime verbs
+# ----------------------------------------------------------------------
+def _run_daemon(daemon) -> int:
+    import asyncio
+
+    async def _serve() -> None:
+        await daemon.start()
+        print(f"listening on {daemon.host}:{daemon.port}", flush=True)
+        try:
+            await asyncio.Event().wait()  # run until interrupted
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .runtime import BootstrapNode
+
+    config = HybridConfig(p_s=args.ps)
+    return _run_daemon(BootstrapNode(args.host, args.port, config, seed=args.seed))
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .runtime import PeerNode, pack_endpoint
+
+    host, port = _parse_endpoint(args.join)
+    config = HybridConfig(server_address=pack_endpoint(host, port))
+    daemon = PeerNode(
+        args.host, args.port, config, seed=args.seed, capacity=args.capacity
+    )
+
+    async def _serve() -> None:
+        await daemon.start()
+        await daemon.join()
+        print(
+            f"listening on {daemon.host}:{daemon.port} "
+            f"(role={daemon.peer.role}, p_id={daemon.peer.p_id})",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _client_verb(args: argparse.Namespace, msg) -> int:
+    from .runtime import call
+
+    host, port = _parse_endpoint(args.node)
+    try:
+        reply = call(host, port, msg, timeout=args.timeout)
+    except (OSError, ConnectionError, TimeoutError) as exc:
+        print(f"error: cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    if not reply.ok:
+        print(f"error: {reply.error}", file=sys.stderr)
+        return 1
+    print(json.dumps(reply.payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_put(args: argparse.Namespace) -> int:
+    from .runtime import ClientPut
+
+    return _client_verb(args, ClientPut(key=args.key, value=args.value))
+
+
+def _cmd_get(args: argparse.Namespace) -> int:
+    from .runtime import ClientGet
+
+    return _client_verb(args, ClientGet(key=args.key))
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .runtime import ClientStatus
+
+    return _client_verb(args, ClientStatus())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -207,6 +351,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
         "analyze": _cmd_analyze,
+        "serve": _cmd_serve,
+        "node": _cmd_node,
+        "put": _cmd_put,
+        "get": _cmd_get,
+        "status": _cmd_status,
     }[args.command]
     return handler(args)
 

@@ -207,6 +207,25 @@ class BootstrapServer(BasePeer):
         self._cap_samples: List[float] = []
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def directory_snapshot(self) -> Dict[str, object]:
+        """JSON-safe view of the authoritative directory.
+
+        Served over the wire by the live runtime's ``status`` verb and
+        used by the localnet harness to assert that the directory and
+        the live ring agree; the simulator's tests read the same fields
+        directly.
+        """
+        return {
+            "t_count": self.t_count,
+            "s_count": self.s_count,
+            "joins_served": self.joins_served,
+            "ring": [[p_id, addr] for p_id, addr in self.ring.members()],
+            "s_counts": {str(a): n for a, n in sorted(self.s_counts.items())},
+        }
+
+    # ------------------------------------------------------------------
     # p_id generation (Section 3.2.1)
     # ------------------------------------------------------------------
     def generate_pid(self, address: int) -> int:

@@ -74,6 +74,8 @@ __all__ = [
     "BTLookup",
     "BTLookupReply",
     "BTFetch",
+    # codec hook
+    "wire_types",
 ]
 
 # Nominal message sizes (in abstract size units consumed by the
@@ -662,3 +664,24 @@ class BTFetch(Message):
     key: str = ""
     origin: int = -1
     query_id: int = -1
+
+
+# ----------------------------------------------------------------------
+# Codec hook (live runtime)
+# ----------------------------------------------------------------------
+def wire_types() -> Tuple[type, ...]:
+    """Every concrete message class, in stable wire-registration order.
+
+    The live runtime's codec (:mod:`repro.runtime.codec`) derives its
+    type-id table from this tuple: position in the ``__all__`` listing
+    is the wire type id (plus a fixed offset).  Append new message
+    classes to ``__all__`` -- never reorder or remove entries -- and
+    existing wire ids stay stable across versions.
+    """
+    module = globals()
+    out = []
+    for name in __all__:
+        obj = module.get(name)
+        if isinstance(obj, type) and issubclass(obj, Message) and obj is not Message:
+            out.append(obj)
+    return tuple(out)

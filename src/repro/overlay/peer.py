@@ -15,7 +15,7 @@ from ..sim.engine import Engine
 from ..sim.trace import TraceBus
 from .idspace import IdSpace
 from .messages import Message
-from .transport import Transport
+from .transport import TransportBase
 
 __all__ = ["BasePeer"]
 
@@ -26,11 +26,15 @@ class BasePeer:
     Parameters
     ----------
     address:
-        Unique overlay address (stand-in for an IP).
+        Unique overlay address (stand-in for an IP; the live runtime
+        packs a real ``(ip, port)`` endpoint into this int).
     host:
-        Physical node this peer resides on.
+        Physical node this peer resides on (0 in the live runtime).
     engine, transport, idspace:
-        Shared simulation plumbing.
+        Shared plumbing.  ``engine`` is anything with the
+        :class:`~repro.sim.engine.Engine` timer surface (``now`` /
+        ``call_later``); ``transport`` any
+        :class:`~repro.overlay.transport.TransportBase`.
     trace:
         Optional trace bus for metrics/tests.
 
@@ -45,7 +49,7 @@ class BasePeer:
         address: int,
         host: int,
         engine: Engine,
-        transport: Transport,
+        transport: TransportBase,
         idspace: IdSpace,
         trace: Optional[TraceBus] = None,
     ) -> None:

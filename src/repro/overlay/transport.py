@@ -38,7 +38,7 @@ from ..sim.engine import Engine
 from ..sim.trace import TraceBus
 from .messages import Message
 
-__all__ = ["Actor", "Transport"]
+__all__ = ["Actor", "TransportBase", "Transport"]
 
 
 class Actor(Protocol):
@@ -52,7 +52,54 @@ class Actor(Protocol):
         ...
 
 
-class Transport:
+class TransportBase:
+    """The transport surface the protocol core programs against.
+
+    Two implementations exist: the simulator's :class:`Transport` below
+    (delay-modelled delivery through the event heap) and the live
+    runtime's :class:`~repro.runtime.aio_transport.AioTransport` (real
+    TCP sockets on an asyncio loop).  Peers and the bootstrap server
+    only ever touch this surface -- ``send`` / ``send_many`` plus the
+    registry queries -- which is what lets the same protocol code run
+    bit-identically in simulation and as a live network.
+
+    Contract notes shared by both backends:
+
+    * ``send`` fills in ``msg.sender`` from ``src.address`` before
+      delivery and returns False when the message was dropped at send
+      time (unknown/dead destination);
+    * ``send_many`` delivers the *same* message object (or its encoding)
+      to every destination, so receivers must treat messages as
+      immutable -- the protocol code already does;
+    * ``is_reachable`` is a best-effort liveness hint; the live backend
+      can only report what its last connection attempt observed.
+    """
+
+    def register(self, actor: Actor) -> None:
+        raise NotImplementedError
+
+    def unregister(self, address: int) -> None:
+        raise NotImplementedError
+
+    def actor(self, address: int) -> Optional[Actor]:
+        raise NotImplementedError
+
+    def is_reachable(self, address: int) -> bool:
+        raise NotImplementedError
+
+    def send(self, src: Actor, dst_address: int, msg: Message) -> bool:
+        raise NotImplementedError
+
+    def send_many(self, src: Actor, dst_addresses: Iterable[int], msg: Message) -> int:
+        """Fan one message out; the default is a loop of :meth:`send`."""
+        sent = 0
+        for dst_address in dst_addresses:
+            if self.send(src, dst_address, msg):
+                sent += 1
+        return sent
+
+
+class Transport(TransportBase):
     """Address registry + delay model + delivery scheduler.
 
     Parameters

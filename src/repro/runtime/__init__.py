@@ -1,0 +1,57 @@
+"""Live runtime: the hybrid overlay over real asyncio TCP.
+
+The protocol core (:mod:`repro.core`, :mod:`repro.overlay`) is shared
+verbatim with the simulator; this package swaps the plumbing:
+
+==================  =============================  ==========================
+surface             simulator                      live runtime
+==================  =============================  ==========================
+timers              :class:`repro.sim.engine.Engine`  :class:`~repro.runtime.loop_engine.LoopEngine`
+message delivery    :class:`repro.overlay.transport.Transport`  :class:`~repro.runtime.aio_transport.AioTransport`
+addresses           arbitrary ints                 packed ``(ip, port)`` endpoints
+wire format         (none -- in-process objects)   :mod:`repro.runtime.codec`
+==================  =============================  ==========================
+
+Entry points: ``repro serve`` / ``repro node`` / ``repro put`` /
+``repro get`` on the CLI, :class:`~repro.runtime.localnet.LocalNet`
+for in-process multi-node tests.
+"""
+
+from .aio_transport import AioTransport
+from .bootstrap import BootstrapNode
+from .client import ClientGet, ClientPut, ClientReply, ClientStatus, acall, call, runtime_codec
+from .codec import (
+    CodecError,
+    MessageCodec,
+    default_codec,
+    format_endpoint,
+    pack_endpoint,
+    unpack_endpoint,
+)
+from .localnet import LocalNet, fast_config
+from .loop_engine import LoopEngine
+from .node import NodeDaemon, PeerNode, RuntimePeer
+
+__all__ = [
+    "AioTransport",
+    "BootstrapNode",
+    "ClientGet",
+    "ClientPut",
+    "ClientReply",
+    "ClientStatus",
+    "CodecError",
+    "LocalNet",
+    "LoopEngine",
+    "MessageCodec",
+    "NodeDaemon",
+    "PeerNode",
+    "RuntimePeer",
+    "acall",
+    "call",
+    "default_codec",
+    "fast_config",
+    "format_endpoint",
+    "pack_endpoint",
+    "runtime_codec",
+    "unpack_endpoint",
+]

@@ -1,0 +1,277 @@
+"""Asyncio TCP implementation of the overlay transport surface.
+
+Where the simulator's :class:`~repro.overlay.transport.Transport`
+delivers messages by scheduling engine events, :class:`AioTransport`
+writes codec frames to per-peer TCP connections.  The protocol core is
+oblivious to the difference: it calls ``send`` / ``send_many`` with an
+overlay address, and here that address *is* the destination endpoint
+(see :func:`~repro.runtime.codec.pack_endpoint`).
+
+Design notes
+------------
+* **Per-peer connection pooling** -- one outbound connection per
+  destination address, opened lazily on first send and reused until it
+  fails or the transport closes.
+* **Write coalescing** -- ``send`` only appends the frame to the
+  destination's queue; a per-connection writer task drains the whole
+  queue into a single ``write`` + ``drain``.  Bursts (floods, dumps)
+  become one syscall instead of one per message.
+* **Retry with exponential backoff** -- connects (and the frames queued
+  behind them) are retried up to ``max_retries`` times with
+  exponentially growing delays; connect and drain are both bounded by
+  ``op_timeout``.  After the retries are exhausted the address is
+  marked failed and subsequent sends drop, mirroring the simulator's
+  drop-to-dead-peer behaviour (``is_reachable`` turns False, which is
+  what the bootstrap server's crash arbitration keys off).
+* **Loopback** -- sends to an actor registered on *this* transport
+  bypass TCP and are dispatched via ``loop.call_soon``, preserving the
+  simulator's semantics that a peer never talks to itself over the
+  network in a blocking way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..overlay.messages import Message
+from ..overlay.transport import Actor, TransportBase
+from .codec import MAX_FRAME, CodecError, MessageCodec, _LEN, unpack_endpoint
+
+__all__ = ["AioTransport", "read_frame"]
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one length-prefixed payload; None on clean EOF at a boundary."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise CodecError(f"incoming frame too large: {length} bytes")
+    try:
+        return await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+
+
+class _Conn:
+    """Outbound connection state for one destination address."""
+
+    __slots__ = ("queue", "wakeup", "task", "failed")
+
+    def __init__(self) -> None:
+        self.queue: List[bytes] = []
+        self.wakeup = asyncio.Event()
+        self.task: Optional[asyncio.Task] = None
+        self.failed = False
+
+
+class AioTransport(TransportBase):
+    """TCP transport speaking the :mod:`repro.runtime.codec` framing.
+
+    Parameters
+    ----------
+    codec:
+        Shared codec (must match the remote end's registration table).
+    loop:
+        Event loop to schedule on; defaults to the running loop.
+    op_timeout:
+        Seconds allowed for one connect attempt or one drain.
+    max_retries:
+        Connect attempts before a destination is declared unreachable.
+    backoff_base:
+        First retry delay in seconds; doubles per attempt (capped at 2s).
+    """
+
+    def __init__(
+        self,
+        codec: MessageCodec,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        op_timeout: float = 5.0,
+        max_retries: int = 4,
+        backoff_base: float = 0.05,
+    ) -> None:
+        self.codec = codec
+        self.loop = loop if loop is not None else asyncio.get_event_loop()
+        self.op_timeout = op_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self._actors: Dict[int, Actor] = {}
+        self._conns: Dict[int, _Conn] = {}
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Registry (local actors on this transport)
+    # ------------------------------------------------------------------
+    def register(self, actor: Actor) -> None:
+        if actor.address in self._actors:
+            raise ValueError(f"address {actor.address} already registered")
+        self._actors[actor.address] = actor
+
+    def unregister(self, address: int) -> None:
+        self._actors.pop(address, None)
+
+    def actor(self, address: int) -> Optional[Actor]:
+        return self._actors.get(address)
+
+    def is_reachable(self, address: int) -> bool:
+        """Best local knowledge: False only after retries were exhausted."""
+        actor = self._actors.get(address)
+        if actor is not None:
+            return actor.alive
+        conn = self._conns.get(address)
+        return conn is None or not conn.failed
+
+    # ------------------------------------------------------------------
+    # Send surface (called synchronously by protocol code)
+    # ------------------------------------------------------------------
+    def send(self, src: Actor, dst_address: int, msg: Message) -> bool:
+        if not src.alive or self._closing:
+            return False
+        msg.sender = src.address
+        local = self._actors.get(dst_address)
+        if local is not None:
+            if not local.alive:
+                self.messages_dropped += 1
+                return False
+            self.loop.call_soon(local.receive, msg)
+            self.messages_sent += 1
+            return True
+        try:
+            frame = self.codec.frame(msg)
+        except CodecError:
+            self.messages_dropped += 1
+            raise
+        return self._enqueue(dst_address, frame)
+
+    def send_many(self, src: Actor, dst_addresses: Iterable[int], msg: Message) -> int:
+        """Fan out one message; the frame is encoded exactly once."""
+        if not src.alive or self._closing:
+            return 0
+        msg.sender = src.address
+        frame: Optional[bytes] = None
+        delivered = 0
+        for dst in dst_addresses:
+            local = self._actors.get(dst)
+            if local is not None:
+                if local.alive:
+                    self.loop.call_soon(local.receive, msg)
+                    self.messages_sent += 1
+                    delivered += 1
+                else:
+                    self.messages_dropped += 1
+                continue
+            if frame is None:
+                frame = self.codec.frame(msg)
+            if self._enqueue(dst, frame):
+                delivered += 1
+        return delivered
+
+    def _enqueue(self, dst_address: int, frame: bytes) -> bool:
+        conn = self._conns.get(dst_address)
+        if conn is None:
+            conn = _Conn()
+            self._conns[dst_address] = conn
+        if conn.failed:
+            self.messages_dropped += 1
+            return False
+        conn.queue.append(frame)
+        conn.wakeup.set()
+        if conn.task is None or conn.task.done():
+            conn.task = self.loop.create_task(
+                self._writer(dst_address, conn),
+                name=f"aio-transport-writer-{dst_address}",
+            )
+        self.messages_sent += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Writer task: one per live destination
+    # ------------------------------------------------------------------
+    async def _writer(self, dst_address: int, conn: _Conn) -> None:
+        host, port = unpack_endpoint(dst_address)
+        reader: Optional[asyncio.StreamReader] = None
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            while not self._closing:
+                if not conn.queue:
+                    conn.wakeup.clear()
+                    await conn.wakeup.wait()
+                    continue
+                if writer is not None and reader is not None and reader.at_eof():
+                    # Remote dropped the connection (FIN seen).  Protocol
+                    # connections are one-way, so any EOF means dead --
+                    # without this check the first write after the drop
+                    # would be silently discarded by the remote's RST
+                    # instead of raising.
+                    self._abort(writer)
+                    writer = None
+                if writer is None or writer.is_closing():
+                    reader, writer = await self._connect(host, port, conn)
+                    if writer is None:
+                        return  # marked failed; queued frames dropped
+                batch, conn.queue = conn.queue, []
+                data = b"".join(batch)
+                try:
+                    writer.write(data)
+                    await asyncio.wait_for(writer.drain(), self.op_timeout)
+                    self.bytes_sent += len(data)
+                except (OSError, asyncio.TimeoutError):
+                    # Connection died mid-write: put the batch back and
+                    # reconnect (frames may be duplicated at the far
+                    # end, which the protocol tolerates -- dispatch is
+                    # idempotent for every message type).
+                    conn.queue = batch + conn.queue
+                    self._abort(writer)
+                    writer = None
+        finally:
+            if writer is not None:
+                self._abort(writer)
+
+    async def _connect(
+        self, host: str, port: int, conn: _Conn
+    ) -> Tuple[Optional[asyncio.StreamReader], Optional[asyncio.StreamWriter]]:
+        delay = self.backoff_base
+        for attempt in range(self.max_retries):
+            if self._closing:
+                return None, None
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), self.op_timeout
+                )
+                return reader, writer
+            except (OSError, asyncio.TimeoutError):
+                if attempt + 1 < self.max_retries:
+                    await asyncio.sleep(delay)
+                    delay = min(delay * 2, 2.0)
+        conn.failed = True
+        self.messages_dropped += len(conn.queue)
+        conn.queue.clear()
+        return None, None
+
+    @staticmethod
+    def _abort(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.transport.abort()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Stop all writer tasks and drop every pooled connection."""
+        self._closing = True
+        tasks = [c.task for c in self._conns.values() if c.task is not None]
+        for conn in self._conns.values():
+            conn.wakeup.set()
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._conns.clear()

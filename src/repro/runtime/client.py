@@ -1,0 +1,107 @@
+"""Client verbs: request/reply messages between the CLI and a live node.
+
+Protocol frames are fire-and-forget -- a peer never answers on the same
+connection it received from.  The client verbs are different: ``put`` /
+``get`` / ``status`` want an answer, so a node replies with a
+:class:`ClientReply` frame on the *inbound* connection the request
+arrived on.  They reuse the exact same codec and framing as protocol
+messages but register in the reserved type-id band at
+:data:`~repro.runtime.codec.CLIENT_TYPE_BASE` so they can never collide
+with :func:`~repro.overlay.messages.wire_types` growth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..overlay.messages import Message
+from .codec import CLIENT_TYPE_BASE, MessageCodec, default_codec
+from .aio_transport import read_frame
+
+__all__ = [
+    "ClientPut",
+    "ClientGet",
+    "ClientStatus",
+    "ClientReply",
+    "client_types",
+    "runtime_codec",
+    "acall",
+    "call",
+]
+
+
+@dataclass(slots=True)
+class ClientPut(Message):
+    """Store ``value`` under ``key`` via the receiving node's data plane."""
+
+    key: str = ""
+    value: Any = None
+
+
+@dataclass(slots=True)
+class ClientGet(Message):
+    """Look ``key`` up through the overlay; reply carries the value."""
+
+    key: str = ""
+
+
+@dataclass(slots=True)
+class ClientStatus(Message):
+    """Ask a node (or the bootstrap server) for a JSON status snapshot."""
+
+
+@dataclass(slots=True)
+class ClientReply(Message):
+    """Uniform answer: ``ok`` plus either a payload or an error string."""
+
+    ok: bool = False
+    payload: Any = None
+    error: Optional[str] = None
+
+
+def client_types() -> tuple:
+    """Client message classes in stable wire-registration order."""
+    return (ClientPut, ClientGet, ClientStatus, ClientReply)
+
+
+def runtime_codec() -> MessageCodec:
+    """The full live-runtime codec: every protocol message + client verbs."""
+    codec = default_codec()
+    for i, cls in enumerate(client_types()):
+        codec.register(cls, CLIENT_TYPE_BASE + i)
+    return codec
+
+
+async def acall(
+    host: str, port: int, msg: Message, timeout: float = 10.0
+) -> ClientReply:
+    """Send one client verb to a node and await its :class:`ClientReply`."""
+    codec = runtime_codec()
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        writer.write(codec.frame(msg))
+        await asyncio.wait_for(writer.drain(), timeout)
+        payload = await asyncio.wait_for(read_frame(reader), timeout)
+        if payload is None:
+            raise ConnectionError(f"{host}:{port} closed without replying")
+        reply = codec.decode(payload)
+        if not isinstance(reply, ClientReply):
+            raise ConnectionError(
+                f"expected ClientReply, got {type(reply).__name__}"
+            )
+        return reply
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+
+def call(host: str, port: int, msg: Message, timeout: float = 10.0) -> ClientReply:
+    """Blocking wrapper around :func:`acall` for CLI use."""
+    return asyncio.run(acall(host, port, msg, timeout))

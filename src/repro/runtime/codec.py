@@ -1,0 +1,275 @@
+"""Length-prefixed binary wire format for overlay messages.
+
+The live runtime sends the *same* message dataclasses the simulator
+delivers in-process (:mod:`repro.overlay.messages`) over real TCP
+sockets.  Encoders are auto-derived per message class -- no per-message
+hand-written serialization -- from the dataclass field list and the
+type annotations:
+
+* **framing** -- each message is one frame: a 4-byte big-endian length
+  followed by the payload (``struct``);
+* **payload** -- a 1-byte format version, a 2-byte big-endian type id,
+  then the field values as a compact JSON array in dataclass field
+  order (``sender`` and ``hop_count`` from the :class:`Message` base
+  first, subclass fields after, exactly as ``dataclasses.fields``
+  reports them);
+* **type ids** -- derived from :func:`repro.overlay.messages.wire_types`
+  (position in ``__all__``), so ids are stable as long as that list is
+  append-only; runtime-private messages (the client verbs) register in
+  a reserved band above :data:`CLIENT_TYPE_BASE`;
+* **bytes values** -- JSON has no bytes type, so ``bytes`` payloads are
+  encoded as ``{"__bytes__": <base64>}`` and revived on decode;
+* **tuples** -- JSON arrays decode as lists; fields annotated as tuples
+  (including nested shapes like ``Tuple[Tuple[int, int], ...]``) are
+  revived to tuples so ``decode(encode(m)) == m`` holds exactly.
+
+The version byte gives forward compatibility: a decoder that sees an
+unknown version (or type id) raises :class:`CodecError` instead of
+misparsing, and a future format revision can bump the byte without
+breaking the frame layout.
+
+Everything here is stdlib-only (``struct`` + ``json``) and synchronous;
+the asyncio plumbing lives in :mod:`repro.runtime.aio_transport`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+from dataclasses import fields as dataclass_fields
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union, get_args, get_origin, get_type_hints
+
+from ..overlay.messages import Message, wire_types
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME",
+    "CLIENT_TYPE_BASE",
+    "CodecError",
+    "MessageCodec",
+    "default_codec",
+    "pack_endpoint",
+    "unpack_endpoint",
+    "format_endpoint",
+]
+
+WIRE_VERSION = 1
+# Hard cap on a single frame; a length prefix beyond this is treated as
+# a corrupt/hostile stream rather than an allocation request.
+MAX_FRAME = 16 * 1024 * 1024
+# Type ids below this band belong to repro.overlay.messages (protocol
+# messages, ids assigned from wire_types() order); the band at and
+# above it is reserved for runtime-private messages (client verbs).
+CLIENT_TYPE_BASE = 512
+
+_LEN = struct.Struct("!I")
+_HEAD = struct.Struct("!BH")
+
+
+class CodecError(ValueError):
+    """Raised on any encode/decode failure (unknown type, bad frame)."""
+
+
+# ----------------------------------------------------------------------
+# Overlay addresses <-> TCP endpoints
+# ----------------------------------------------------------------------
+# The protocol core addresses actors by int.  The live runtime packs a
+# real IPv4 endpoint into that int -- (ip << 16) | port -- so any
+# address learned from any message (entry peers, ring pointers, flood
+# origins) is directly connectable without a separate address book.
+
+
+def pack_endpoint(host: str, port: int) -> int:
+    """Pack an IPv4 ``(host, port)`` endpoint into an overlay address."""
+    if not (0 < port <= 0xFFFF):
+        raise ValueError(f"port out of range: {port}")
+    try:
+        (ip,) = struct.unpack("!I", socket.inet_aton(host))
+    except OSError as exc:
+        raise ValueError(f"not an IPv4 address: {host!r}") from exc
+    return (ip << 16) | port
+
+
+def unpack_endpoint(address: int) -> Tuple[str, int]:
+    """Recover the ``(host, port)`` endpoint packed into an address."""
+    if address <= 0xFFFF:
+        raise ValueError(f"address {address} does not encode an endpoint")
+    host = socket.inet_ntoa(struct.pack("!I", (address >> 16) & 0xFFFFFFFF))
+    return host, address & 0xFFFF
+
+
+def format_endpoint(address: int) -> str:
+    host, port = unpack_endpoint(address)
+    return f"{host}:{port}"
+
+
+# ----------------------------------------------------------------------
+# JSON value adapters
+# ----------------------------------------------------------------------
+def _json_default(obj: Any) -> Any:
+    if isinstance(obj, (bytes, bytearray)):
+        return {"__bytes__": base64.b64encode(bytes(obj)).decode("ascii")}
+    raise TypeError(f"{type(obj).__name__} is not wire-encodable")
+
+
+def _json_object_hook(obj: Dict[str, Any]) -> Any:
+    if len(obj) == 1 and "__bytes__" in obj:
+        return base64.b64decode(obj["__bytes__"])
+    return obj
+
+
+def _reviver_for(hint: Any) -> Optional[Callable[[Any], Any]]:
+    """Derive a decode-side value reviver from a type annotation.
+
+    Returns None when JSON round-trips the value unchanged (ints,
+    floats, strs, bools, Any); otherwise a callable that restores the
+    annotated shape (tuples, optionals of tuples).
+    """
+    origin = get_origin(hint)
+    if origin is tuple:
+        args = get_args(hint)
+        if len(args) == 2 and args[1] is Ellipsis:
+            elem = _reviver_for(args[0])
+            if elem is None:
+                return lambda v: tuple(v)
+            return lambda v: tuple(elem(x) for x in v)
+        per_slot = [_reviver_for(a) for a in args]
+        return lambda v: tuple(
+            x if r is None else r(x) for r, x in zip(per_slot, v)
+        )
+    if origin is Union:
+        inner = [a for a in get_args(hint) if a is not type(None)]
+        if len(inner) == 1:
+            revive = _reviver_for(inner[0])
+            if revive is not None:
+                return lambda v: None if v is None else revive(v)
+    return None
+
+
+class _Entry:
+    """Per-class codec entry: field order and decode revivers."""
+
+    __slots__ = ("cls", "type_id", "names", "init_names", "extra_names", "revivers")
+
+    def __init__(self, cls: type, type_id: int) -> None:
+        self.cls = cls
+        self.type_id = type_id
+        flds = dataclass_fields(cls)
+        self.names: List[str] = [f.name for f in flds]
+        self.init_names: List[str] = [f.name for f in flds if f.init]
+        self.extra_names: List[str] = [f.name for f in flds if not f.init]
+        hints = get_type_hints(cls)
+        self.revivers: List[Optional[Callable[[Any], Any]]] = [
+            _reviver_for(hints.get(f.name, Any)) for f in flds
+        ]
+
+
+class MessageCodec:
+    """Registry of message classes plus the auto-derived encoders.
+
+    Registration is keyed by message class; ids must be unique and the
+    class must be a :class:`Message` dataclass.  :func:`default_codec`
+    pre-registers every protocol message; callers with runtime-private
+    messages register them on top (ids >= :data:`CLIENT_TYPE_BASE`).
+    """
+
+    def __init__(self) -> None:
+        self._by_class: Dict[type, _Entry] = {}
+        self._by_id: Dict[int, _Entry] = {}
+
+    def register(self, cls: type, type_id: int) -> None:
+        if not (isinstance(cls, type) and issubclass(cls, Message)):
+            raise CodecError(f"{cls!r} is not a Message subclass")
+        if cls in self._by_class:
+            raise CodecError(f"{cls.__name__} already registered")
+        if type_id in self._by_id:
+            raise CodecError(f"type id {type_id} already taken")
+        if not (0 <= type_id <= 0xFFFF):
+            raise CodecError(f"type id {type_id} out of range")
+        entry = _Entry(cls, type_id)
+        self._by_class[cls] = entry
+        self._by_id[type_id] = entry
+
+    def registered_classes(self) -> Tuple[type, ...]:
+        return tuple(self._by_class)
+
+    def type_id_of(self, cls: type) -> int:
+        entry = self._by_class.get(cls)
+        if entry is None:
+            raise CodecError(f"{cls.__name__} is not registered")
+        return entry.type_id
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, msg: Message) -> bytes:
+        """Payload bytes (no length prefix) for one message."""
+        entry = self._by_class.get(type(msg))
+        if entry is None:
+            raise CodecError(f"{type(msg).__name__} is not registered")
+        try:
+            body = json.dumps(
+                [getattr(msg, name) for name in entry.names],
+                separators=(",", ":"),
+                default=_json_default,
+            ).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise CodecError(
+                f"{type(msg).__name__} payload is not wire-encodable: {exc}"
+            ) from exc
+        return _HEAD.pack(WIRE_VERSION, entry.type_id) + body
+
+    def frame(self, msg: Message) -> bytes:
+        """Length-prefixed frame ready to write to a socket."""
+        payload = self.encode(msg)
+        if len(payload) > MAX_FRAME:
+            raise CodecError(f"frame too large: {len(payload)} bytes")
+        return _LEN.pack(len(payload)) + payload
+
+    def decode(self, payload: bytes) -> Message:
+        """Rebuild the message from payload bytes (no length prefix)."""
+        if len(payload) < _HEAD.size:
+            raise CodecError("truncated payload")
+        version, type_id = _HEAD.unpack_from(payload)
+        if version != WIRE_VERSION:
+            raise CodecError(f"unsupported wire version {version}")
+        entry = self._by_id.get(type_id)
+        if entry is None:
+            raise CodecError(f"unknown message type id {type_id}")
+        try:
+            values = json.loads(
+                payload[_HEAD.size :].decode("utf-8"),
+                object_hook=_json_object_hook,
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"bad message body: {exc}") from exc
+        if not isinstance(values, list) or len(values) != len(entry.names):
+            raise CodecError(
+                f"{entry.cls.__name__} expects {len(entry.names)} fields, "
+                f"got {len(values) if isinstance(values, list) else 'non-list'}"
+            )
+        revived = {}
+        for name, revive, value in zip(entry.names, entry.revivers, values):
+            revived[name] = value if (revive is None or value is None) else revive(value)
+        try:
+            msg = entry.cls(**{n: revived[n] for n in entry.init_names})
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot rebuild {entry.cls.__name__}: {exc}") from exc
+        for name in entry.extra_names:  # sender / hop_count (init=False)
+            setattr(msg, name, revived[name])
+        return msg
+
+
+def default_codec() -> MessageCodec:
+    """A codec with every protocol message registered.
+
+    Type ids are ``1 + position`` in :func:`wire_types` order (0 is
+    reserved), so both ends of a connection derive the same table from
+    the message module alone.
+    """
+    codec = MessageCodec()
+    for i, cls in enumerate(wire_types()):
+        codec.register(cls, 1 + i)
+    return codec

@@ -1,0 +1,275 @@
+"""A live peer node: one :class:`HybridPeer` behind an asyncio loop.
+
+This is the daemon the ``repro node`` CLI verb runs.  It owns:
+
+* a listening TCP socket (the peer's overlay address packs this
+  endpoint, so anything that learns the address can reach the socket);
+* a :class:`~repro.runtime.loop_engine.LoopEngine` adapting the
+  protocol core's timer calls (HELLO periods, ack/suppress timeouts,
+  lookup timers) onto ``loop.call_later``;
+* an :class:`~repro.runtime.aio_transport.AioTransport` for outbound
+  protocol frames;
+* the inbound dispatch loop: protocol frames go straight to
+  ``peer.receive``; client verbs (:mod:`repro.runtime.client`) are
+  answered with a :class:`ClientReply` on the same connection.
+
+The protocol object itself is the *unmodified* simulator class --
+:class:`RuntimePeer` only adds value capture for ``get`` replies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.config import HybridConfig
+from ..core.hybridpeer import HybridPeer
+from ..core.lookup import PENDING, SUCCESS, QueryRegistry
+from ..overlay.idspace import IdSpace
+from ..overlay.messages import DataFound, Message
+from .aio_transport import AioTransport, read_frame
+from .client import ClientGet, ClientPut, ClientReply, ClientStatus, runtime_codec
+from .codec import CodecError, pack_endpoint
+from .loop_engine import LoopEngine
+
+__all__ = ["RuntimePeer", "NodeDaemon", "PeerNode"]
+
+
+class RuntimePeer(HybridPeer):
+    """HybridPeer that keeps answer values for the client-facing ``get``.
+
+    The simulator's :class:`QueryRecord` tracks latency and holders but
+    not payloads (the paper's metrics don't need them); a live ``get``
+    does, so the value riding on :class:`DataFound` is stashed per
+    query id before normal processing.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.found_values: Dict[int, Any] = {}
+
+    def on_DataFound(self, msg: DataFound) -> None:
+        if msg.query_id in self.pending_lookups:
+            self.found_values[msg.query_id] = msg.value
+        super().on_DataFound(msg)
+
+
+class NodeDaemon:
+    """Shared asyncio scaffolding for live peers and the bootstrap server.
+
+    Subclasses create their protocol actor in :meth:`_make_actor` (the
+    listen endpoint is known by then) and may override
+    :meth:`handle_client` for the verbs they answer.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        config: HybridConfig,
+        seed: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.config = config
+        self.seed = seed
+        self.codec = runtime_codec()
+        self.engine: Optional[LoopEngine] = None
+        self.transport: Optional[AioTransport] = None
+        self.actor: Any = None
+        self.address = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        # Inbound connections stay open as long as the remote's pooled
+        # transport wants them; tracked so stop() can reap them all.
+        self._inbound: Dict[asyncio.Task, asyncio.StreamWriter] = {}
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and bring the protocol actor up."""
+        loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._serve_conn, self.host, self.port
+        )
+        if self.port == 0:  # ephemeral: learn what the kernel picked
+            self.port = self._server.sockets[0].getsockname()[1]
+        self.address = pack_endpoint(self.host, self.port)
+        self.engine = LoopEngine(loop)
+        self.transport = AioTransport(self.codec, loop)
+        self.actor = self._make_actor()
+        self.transport.register(self.actor)
+
+    def _make_actor(self) -> Any:
+        raise NotImplementedError
+
+    async def stop(self) -> None:
+        """Tear down: listener, inbound conns, timers, outbound pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.actor is not None:
+            self.actor.alive = False
+        if self.engine is not None:
+            self.engine.close()
+        if self.transport is not None:
+            await self.transport.aclose()
+        inbound = dict(self._inbound)
+        self._inbound.clear()
+        for task, writer in inbound.items():
+            try:
+                writer.transport.abort()
+            except Exception:
+                pass
+            task.cancel()
+        if inbound:
+            await asyncio.gather(*inbound, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+    async def _serve_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._inbound[task] = writer
+        try:
+            while True:
+                payload = await read_frame(reader)
+                if payload is None:
+                    break
+                try:
+                    msg = self.codec.decode(payload)
+                except CodecError:
+                    break  # corrupt/foreign stream: drop the connection
+                if isinstance(msg, (ClientPut, ClientGet, ClientStatus)):
+                    reply = await self.handle_client(msg)
+                    writer.write(self.codec.frame(reply))
+                    await writer.drain()
+                elif self.actor is not None and self.actor.alive:
+                    self.actor.receive(msg)
+        except (OSError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._inbound.pop(task, None)
+            try:
+                # close() is enough here -- awaiting wait_closed() inside
+                # a task that stop() may have just cancelled would raise
+                # CancelledError out of the finally block.
+                writer.close()
+            except (OSError, ConnectionError):
+                pass
+
+    async def handle_client(self, msg: Message) -> ClientReply:
+        return ClientReply(ok=False, error=f"unsupported verb {type(msg).__name__}")
+
+
+class PeerNode(NodeDaemon):
+    """Daemon hosting one :class:`RuntimePeer`.
+
+    ``config.server_address`` must be the packed endpoint of a running
+    bootstrap daemon (:class:`~repro.runtime.bootstrap.BootstrapNode`).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        config: HybridConfig,
+        seed: int = 0,
+        capacity: float = 1.0,
+        interest: Optional[str] = None,
+    ) -> None:
+        super().__init__(host, port, config, seed)
+        self.capacity = capacity
+        self.interest = interest
+        self.queries = QueryRegistry()
+
+    def _make_actor(self) -> RuntimePeer:
+        return RuntimePeer(
+            address=self.address,
+            host=0,
+            engine=self.engine,
+            transport=self.transport,
+            idspace=IdSpace(self.config.id_bits),
+            config=self.config,
+            rng=np.random.default_rng(self.seed),
+            queries=self.queries,
+            capacity=self.capacity,
+            interest=self.interest,
+        )
+
+    @property
+    def peer(self) -> RuntimePeer:
+        return self.actor
+
+    # ------------------------------------------------------------------
+    async def join(self, timeout: float = 30.0) -> None:
+        """Contact the bootstrap server and wait for the join handshake."""
+        self.peer.begin_join()
+        deadline = asyncio.get_running_loop().time() + timeout
+        while not self.peer.joined:
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(
+                    f"{self.host}:{self.port} did not join within {timeout}s"
+                )
+            await asyncio.sleep(0.02)
+
+    # ------------------------------------------------------------------
+    async def handle_client(self, msg: Message) -> ClientReply:
+        if isinstance(msg, ClientPut):
+            return await self._do_put(msg)
+        if isinstance(msg, ClientGet):
+            return await self._do_get(msg)
+        if isinstance(msg, ClientStatus):
+            return ClientReply(ok=True, payload=self.status_snapshot())
+        return await super().handle_client(msg)
+
+    async def _do_put(self, msg: ClientPut) -> ClientReply:
+        if not self.peer.joined:
+            return ClientReply(ok=False, error="node has not joined yet")
+        d_id = self.peer.store(msg.key, msg.value)
+        return ClientReply(ok=True, payload={"key": msg.key, "d_id": d_id})
+
+    async def _do_get(self, msg: ClientGet) -> ClientReply:
+        if not self.peer.joined:
+            return ClientReply(ok=False, error="node has not joined yet")
+        qid = self.peer.lookup(msg.key)
+        # The lookup resolves via the peer's own timers/messages; poll
+        # the registry until it leaves PENDING (bounded by the protocol's
+        # own lookup_timeout plus reflood budget, so no extra deadline).
+        while True:
+            rec = self.queries.get(qid)
+            if rec is None or rec.status != PENDING:
+                break
+            await asyncio.sleep(0.02)
+        if rec is None or rec.status != SUCCESS:
+            return ClientReply(ok=False, error=f"lookup failed for {msg.key!r}")
+        value = self.peer.found_values.pop(qid, None)
+        if value is None:
+            # Answered from the local database/cache: no DataFound rode
+            # the wire, so read the value directly.
+            item = self.peer.database.get(msg.key) or self.peer.cache_lookup(msg.key)
+            value = item.value if item is not None else None
+        return ClientReply(
+            ok=True,
+            payload={"key": msg.key, "value": value, "holder": rec.holder},
+        )
+
+    # ------------------------------------------------------------------
+    def status_snapshot(self) -> Dict[str, Any]:
+        p = self.peer
+        return {
+            "endpoint": f"{self.host}:{self.port}",
+            "address": self.address,
+            "role": p.role,
+            "joined": p.joined,
+            "p_id": p.p_id,
+            "predecessor": p.predecessor,
+            "successor": p.successor,
+            "keys_stored": len(p.database),
+            "messages_received": p.messages_received,
+        }
