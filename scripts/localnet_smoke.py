@@ -22,6 +22,25 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.runtime import LocalNet  # noqa: E402
 
 
+async def scrape_metrics(host: str, port: int) -> str:
+    """GET /metrics from a daemon's listen port, return the body text."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(f"GET /metrics HTTP/1.1\r\nHost: {host}\r\n\r\n".encode())
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=10)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    assert " 200 " in status_line, status_line
+    return body.decode("utf-8")
+
+
 async def run_cli(*argv: str) -> str:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -70,6 +89,26 @@ async def main() -> None:
     )
     directory = json.loads(status_out)
     assert directory["t_count"] == 2 and directory["s_count"] == 2, directory
+    assert directory["codec_version"] == 1 and directory["uptime_s"] > 0, directory
+
+    # Every daemon multiplexes Prometheus scrapes on its protocol port;
+    # after one put/get the frame counters must have moved everywhere,
+    # and the get's origin recorded its lookup in the hop histogram.
+    for host, port in [(net.bootstrap.host, net.bootstrap.port)] + [
+        (n.host, n.port) for n in net.nodes
+    ]:
+        text = await scrape_metrics(host, port)
+        assert "# TYPE repro_frames_total counter" in text, (host, port)
+        assert 'repro_frames_total{' in text, (host, port)
+    origin_text = await scrape_metrics(remote.host, remote.port)
+    hop_count_lines = [
+        line
+        for line in origin_text.splitlines()
+        if line.startswith("repro_lookup_hops_bucket")
+        and not line.rstrip().endswith(" 0")
+    ]
+    assert hop_count_lines, "get origin shows no lookup hop observations"
+    print("metrics ->", hop_count_lines[-1])
 
     await net.stop()
     leftovers = [t for t in asyncio.all_tasks() if t is not asyncio.current_task()]

@@ -19,7 +19,9 @@ evaluation relied on, rebuilt in pure Python:
 * :mod:`repro.metrics` -- distribution and report helpers;
 * :mod:`repro.experiments` -- one driver per paper table/figure;
 * :mod:`repro.runtime` -- the same protocol over real asyncio TCP
-  (live nodes, bootstrap daemon, wire codec, localnet harness).
+  (live nodes, bootstrap daemon, wire codec, localnet harness);
+* :mod:`repro.obs` -- unified observability: metrics registry, trace
+  bridge, Prometheus ``/metrics`` endpoint, ``repro top``.
 
 Quickstart::
 

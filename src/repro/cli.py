@@ -16,7 +16,11 @@ Live-runtime verbs (real TCP; see :mod:`repro.runtime`):
 * ``repro put KEY VALUE --node HOST:PORT`` / ``repro get KEY --node
   HOST:PORT`` -- store/fetch through a running node;
 * ``repro status --node HOST:PORT`` -- JSON snapshot of a node or the
-  bootstrap directory.
+  bootstrap directory (``--pretty`` indents, ``--metrics`` folds in the
+  node's metrics-registry snapshot);
+* ``repro top --node HOST:PORT`` -- refreshing table of frame/lookup
+  rates and hop/latency p50/p99 scraped from the node's ``/metrics.json``
+  endpoint (see docs/OBSERVABILITY.md).
 
 Every simulator command takes ``--seed``; runs are bit-reproducible.
 """
@@ -120,6 +124,19 @@ def build_parser() -> argparse.ArgumentParser:
     status = sub.add_parser("status", help="JSON status of a live node/server")
     status.add_argument("--node", required=True, metavar="HOST:PORT")
     status.add_argument("--timeout", type=float, default=10.0)
+    status.add_argument("--pretty", action="store_true",
+                        help="indent the JSON output")
+    status.add_argument("--metrics", action="store_true",
+                        help="include the node's full metrics snapshot")
+
+    top = sub.add_parser(
+        "top", help="refreshing rates/latency table for a live node"
+    )
+    top.add_argument("--node", required=True, metavar="HOST:PORT")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between scrapes")
+    top.add_argument("--count", type=int, default=0,
+                     help="number of frames to render (0 = until ^C)")
 
     return parser
 
@@ -310,7 +327,7 @@ def _cmd_node(args: argparse.Namespace) -> int:
     return 0
 
 
-def _client_verb(args: argparse.Namespace, msg) -> int:
+def _client_verb(args: argparse.Namespace, msg, pretty: bool = True) -> int:
     from .runtime import call
 
     host, port = _parse_endpoint(args.node)
@@ -322,7 +339,7 @@ def _client_verb(args: argparse.Namespace, msg) -> int:
     if not reply.ok:
         print(f"error: {reply.error}", file=sys.stderr)
         return 1
-    print(json.dumps(reply.payload, indent=2, sort_keys=True))
+    print(json.dumps(reply.payload, indent=2 if pretty else None, sort_keys=True))
     return 0
 
 
@@ -341,7 +358,23 @@ def _cmd_get(args: argparse.Namespace) -> int:
 def _cmd_status(args: argparse.Namespace) -> int:
     from .runtime import ClientStatus
 
-    return _client_verb(args, ClientStatus())
+    return _client_verb(
+        args,
+        ClientStatus(include_metrics=args.metrics),
+        pretty=args.pretty,
+    )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs import run_top
+
+    host, port = _parse_endpoint(args.node)
+    try:
+        run_top(host, port, interval=args.interval, count=args.count)
+    except OSError as exc:
+        print(f"error: cannot scrape {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -356,6 +389,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "put": _cmd_put,
         "get": _cmd_get,
         "status": _cmd_status,
+        "top": _cmd_top,
     }[args.command]
     return handler(args)
 

@@ -50,10 +50,13 @@ class _PendingLookup:
 
     __slots__ = (
         "timer", "ttl", "attempts", "via_bypass", "bypass_retry_done",
-        "d_id", "key", "local",
+        "d_id", "key", "local", "span",
     )
 
-    def __init__(self, timer: Timer, ttl: int, d_id: int, key: str, local: bool) -> None:
+    def __init__(
+        self, timer: Timer, ttl: int, d_id: int, key: str, local: bool,
+        span: int = -1,
+    ) -> None:
         self.timer = timer
         self.ttl = ttl
         self.attempts = 0
@@ -62,6 +65,7 @@ class _PendingLookup:
         self.d_id = d_id
         self.key = key
         self.local = local
+        self.span = span  # trace span id carried on every query message
 
 
 class DataPlaneMixin:
@@ -115,7 +119,11 @@ class DataPlaneMixin:
         rec = self.queries.start(self.address, key, d_id, self.engine.now, local)
         qid = rec.query_id
         timer = Timer(self.engine, self.config.lookup_timeout, lambda: self._lookup_expired(qid))
-        pending = _PendingLookup(timer, self.config.ttl, d_id, key, local)
+        # Span id: deterministic (address, query) tag carried on every
+        # message this lookup spawns, so per-hop trace records across
+        # peers (or scraped nodes) can be stitched into one span.
+        span = ((self.address & 0xFFFFFFFF) << 24) ^ (qid & 0xFFFFFF)
+        pending = _PendingLookup(timer, self.config.ttl, d_id, key, local, span=span)
         self.pending_lookups[qid] = pending
         self._launch_lookup(qid, pending)
         return qid
@@ -133,6 +141,11 @@ class DataPlaneMixin:
             self.queries.succeed(qid, self.engine.now, holder=self.address)
             pending.timer.cancel()
             del self.pending_lookups[qid]
+            if self.wants_trace("lookup.done"):
+                self.emit(
+                    "lookup.done", query_id=qid, span=pending.span,
+                    hops=0, contacts=0, latency=0.0,
+                )
             return
         if pending.local:
             if self.config.snetwork_style == SNETWORK_BITTORRENT:
@@ -145,14 +158,16 @@ class DataPlaneMixin:
                     )
                 return
             if self.config.search_mode == SEARCH_WALK:
-                self.launch_walkers(qid, key, d_id)
+                self.launch_walkers(qid, key, d_id, span_id=pending.span)
                 return
             flood = FloodQuery(
                 d_id=d_id, key=key, origin=self.address, query_id=qid,
-                ttl=ttl, attempt=pending.attempts,
+                ttl=ttl, attempt=pending.attempts, span_id=pending.span,
             )
             self.seen_queries.add((qid, pending.attempts))
-            self.send_many(self.flood_targets(), flood)
+            fanout = self.send_many(self.flood_targets(), flood)
+            if self.wants_trace("flood.fanout"):
+                self.emit("flood.fanout", query_id=qid, span=pending.span, fanout=fanout)
             return
         # Remote: try a bypass shortcut first (Section 5.4), else ride
         # the t-network.
@@ -165,13 +180,13 @@ class DataPlaneMixin:
                     target,
                     FloodQuery(
                         d_id=d_id, key=key, origin=self.address, query_id=qid,
-                        ttl=ttl, attempt=pending.attempts,
+                        ttl=ttl, attempt=pending.attempts, span_id=pending.span,
                     ),
                 )
                 return
         request = LookupRequest(
             d_id=d_id, key=key, origin=self.address, query_id=qid,
-            ttl=ttl, attempt=pending.attempts,
+            ttl=ttl, attempt=pending.attempts, span_id=pending.span,
         )
         if self.role == "s":
             self.send(self.t_peer, request)
@@ -211,13 +226,15 @@ class DataPlaneMixin:
             self.seen_queries.add((qid, pending.attempts))
             flood = FloodQuery(
                 d_id=d_id, key=key, origin=self.address, query_id=qid,
-                ttl=ttl, attempt=pending.attempts,
+                ttl=ttl, attempt=pending.attempts, span_id=pending.span,
             )
-            self.send_many(self.flood_targets(), flood)
+            fanout = self.send_many(self.flood_targets(), flood)
+            if self.wants_trace("flood.fanout"):
+                self.emit("flood.fanout", query_id=qid, span=pending.span, fanout=fanout)
             return
         request = LookupRequest(
             d_id=d_id, key=key, origin=self.address, query_id=qid,
-            ttl=ttl, attempt=pending.attempts,
+            ttl=ttl, attempt=pending.attempts, span_id=pending.span,
         )
         if self.role == "s":
             self.send(self.t_peer, request)
@@ -229,8 +246,16 @@ class DataPlaneMixin:
     # ==================================================================
     def on_LookupRequest(self, msg: LookupRequest) -> None:
         """Ring leg of a remote lookup."""
+        if self.wants_trace("lookup.hop"):
+            self.emit(
+                "lookup.hop", span=msg.span_id, query_id=msg.query_id,
+                hop=msg.hop_count + 1, kind="ring",
+            )
         if self.role != "t":
             # Stale t-peer pointer (handoff in flight): re-route.
+            # Single-destination re-send of the same object, so the
+            # in-place hop bump is safe (see TransportBase contract).
+            msg.hop_count += 1
             self.send(self.t_peer, msg)
             return
         self.queries.contact(msg.query_id)
@@ -240,31 +265,46 @@ class DataPlaneMixin:
             if cached is not None:
                 # Surrogate copy: answer without riding the rest of the
                 # ring (the caching scheme's load diversion).
-                self.cache_hit_answer(msg.origin, msg.query_id, cached)
+                self.cache_hit_answer(
+                    msg.origin, msg.query_id, cached, hops=msg.hop_count + 1
+                )
                 return
         # self.owns(msg.d_id), inlined: one test per ring hop.
         pred = self.predecessor_pid
         mask = self.idspace._mask
         span = (self.p_id - pred) & mask
         if not (span == 0 or 0 < ((msg.d_id - pred) & mask) <= span):
+            msg.hop_count += 1
             self.send(self.ring_next_hop(msg.d_id), msg)
             return
         item = self.database.get(msg.key)
         if item is not None:
-            self._answer(msg.origin, msg.query_id, item)
+            self._answer(msg.origin, msg.query_id, item, hops=msg.hop_count + 1)
             return
         if self.config.snetwork_style == SNETWORK_BITTORRENT:
-            self._bt_resolve(msg.query_id, msg.key, origin=msg.origin)
+            self._bt_resolve(
+                msg.query_id, msg.key, origin=msg.origin, hops=msg.hop_count + 1
+            )
             return
         if self.config.search_mode == SEARCH_WALK:
-            self.launch_walkers(msg.query_id, msg.key, msg.d_id)
+            self.launch_walkers(
+                msg.query_id, msg.key, msg.d_id,
+                span_id=msg.span_id, hops=msg.hop_count + 1,
+            )
             return
         flood = FloodQuery(
             d_id=msg.d_id, key=msg.key, origin=msg.origin,
             query_id=msg.query_id, ttl=msg.ttl, attempt=msg.attempt,
+            span_id=msg.span_id,
         )
+        flood.hop_count = msg.hop_count + 1
         self.seen_queries.add((msg.query_id, msg.attempt))
-        self.send_many(self.flood_targets(), flood)
+        fanout = self.send_many(self.flood_targets(), flood)
+        if self.wants_trace("flood.fanout"):
+            self.emit(
+                "flood.fanout", query_id=msg.query_id, span=msg.span_id,
+                fanout=fanout,
+            )
 
     def on_FloodQuery(self, msg: FloodQuery) -> None:
         """Gnutella-style flood step inside the s-network tree."""
@@ -277,22 +317,34 @@ class DataPlaneMixin:
         self.seen_queries.add(seen_key)
         self.queries.contact(msg.query_id)
         self.note_query_activity(msg.sender, msg.query_id)
+        if self.wants_trace("lookup.hop"):
+            self.emit(
+                "lookup.hop", span=msg.span_id, query_id=msg.query_id,
+                hop=msg.hop_count + 1, kind="flood",
+            )
         item = self.database.get(msg.key)
         if item is None and self.cache is not None:
             item = self.cache.get(msg.key, self.engine.now)
         if item is not None:
             # "the peer will stop flooding and send the data item to the
             # peer requesting the data item directly."
-            self._answer(msg.origin, msg.query_id, item)
+            self._answer(msg.origin, msg.query_id, item, hops=msg.hop_count + 1)
             return
         if msg.ttl > 1:
             fwd = FloodQuery(
                 d_id=msg.d_id, key=msg.key, origin=msg.origin,
                 query_id=msg.query_id, ttl=msg.ttl - 1, attempt=msg.attempt,
+                span_id=msg.span_id,
             )
-            self.send_many(self.flood_targets(exclude=msg.sender), fwd)
+            fwd.hop_count = msg.hop_count + 1
+            fanout = self.send_many(self.flood_targets(exclude=msg.sender), fwd)
+            if self.wants_trace("flood.fanout"):
+                self.emit(
+                    "flood.fanout", query_id=msg.query_id, span=msg.span_id,
+                    fanout=fanout,
+                )
 
-    def _answer(self, origin: int, qid: int, item) -> None:
+    def _answer(self, origin: int, qid: int, item, hops: int = 0) -> None:
         self.answers_served += 1
         self.send(
             origin,
@@ -303,6 +355,7 @@ class DataPlaneMixin:
                 holder=self.address,
                 holder_pid=self.p_id,
                 holder_pred_pid=self._segment_lower_bound(),
+                hops=hops,
             ),
         )
 
@@ -314,7 +367,19 @@ class DataPlaneMixin:
         pending = self.pending_lookups.pop(msg.query_id, None)
         if pending is not None:
             pending.timer.cancel()
-        if self.queries.succeed(msg.query_id, self.engine.now, holder=msg.holder):
+        if self.queries.succeed(
+            msg.query_id, self.engine.now, holder=msg.holder, hops=msg.hops
+        ):
+            if self.wants_trace("lookup.done"):
+                rec = self.queries.get(msg.query_id)
+                self.emit(
+                    "lookup.done",
+                    query_id=msg.query_id,
+                    span=pending.span if pending is not None else -1,
+                    hops=msg.hops,
+                    contacts=rec.contacts if rec is not None else 0,
+                    latency=rec.latency if rec is not None else 0.0,
+                )
             if self.config.bypass_links and msg.holder_pid != self.p_id:
                 self.add_bypass(msg.holder, msg.holder_pred_pid, msg.holder_pid)
             if self.config.cache_enabled and msg.holder != self.address:
@@ -427,7 +492,7 @@ class DataPlaneMixin:
         if self.role == "t":
             self.bt_index[msg.key] = msg.holder
 
-    def _bt_resolve(self, qid: int, key: str, origin: int) -> None:
+    def _bt_resolve(self, qid: int, key: str, origin: int, hops: int = 0) -> None:
         """Tracker t-peer answers from its index (no flooding)."""
         item = self.database.get(key)
         if item is not None:
@@ -438,7 +503,7 @@ class DataPlaneMixin:
                 if pending is not None:
                     pending.timer.cancel()
             else:
-                self._answer(origin, qid, item)
+                self._answer(origin, qid, item, hops=hops)
             return
         holder = self.bt_index.get(key, -1)
         if origin == self.address:
@@ -452,10 +517,16 @@ class DataPlaneMixin:
     def on_BTLookup(self, msg: BTLookup) -> None:
         self.queries.contact(msg.query_id)
         self.note_query_activity(msg.sender, msg.query_id)
+        if self.wants_trace("lookup.hop"):
+            self.emit(
+                "lookup.hop", span=-1, query_id=msg.query_id,
+                hop=msg.hop_count + 1, kind="bt",
+            )
         if self.role != "t":
+            msg.hop_count += 1
             self.send(self.t_peer, msg)
             return
-        self._bt_resolve(msg.query_id, msg.key, msg.origin)
+        self._bt_resolve(msg.query_id, msg.key, msg.origin, hops=msg.hop_count + 1)
 
     def on_BTLookupReply(self, msg: BTLookupReply) -> None:
         """Origin: fetch from the holder the tracker named."""
@@ -467,9 +538,14 @@ class DataPlaneMixin:
 
     def on_BTFetch(self, msg: BTFetch) -> None:
         self.queries.contact(msg.query_id)
+        if self.wants_trace("lookup.hop"):
+            self.emit(
+                "lookup.hop", span=-1, query_id=msg.query_id,
+                hop=msg.hop_count + 1, kind="bt",
+            )
         item = self.database.get(msg.key)
         if item is not None:
-            self._answer(msg.origin, msg.query_id, item)
+            self._answer(msg.origin, msg.query_id, item, hops=msg.hop_count + 1)
         # A lost item (crash) yields silence; the origin's timer fails it.
 
     def _bt_negative(self, qid: int) -> None:

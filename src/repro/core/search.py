@@ -47,26 +47,40 @@ class SearchMixin:
     # ==================================================================
     # Random walks
     # ==================================================================
-    def launch_walkers(self, qid: int, key: str, d_id: int) -> None:
-        """Start ``config.walkers`` random walks from this peer."""
+    def launch_walkers(
+        self, qid: int, key: str, d_id: int, span_id: int = -1, hops: int = 0
+    ) -> None:
+        """Start ``config.walkers`` random walks from this peer.
+
+        ``span_id``/``hops`` thread the lookup trace span through: when
+        the walk is launched by a remote ring lookup, hops already
+        travelled on the ring carry over into the walkers.
+        """
         targets = sorted(self.flood_targets())
         if not targets:
             return
         budget = self.config.walk_ttl
         for i in range(self.config.walkers):
             nxt = targets[int(self.rng.integers(0, len(targets)))]
-            self.send(
-                nxt,
-                WalkQuery(d_id=d_id, key=key, origin=self.address, query_id=qid, ttl=budget),
+            walker = WalkQuery(
+                d_id=d_id, key=key, origin=self.address, query_id=qid,
+                ttl=budget, span_id=span_id,
             )
+            walker.hop_count = hops
+            self.send(nxt, walker)
 
     def on_WalkQuery(self, msg: WalkQuery) -> None:
         """One walker step: check, then wander on."""
         self.queries.contact(msg.query_id)
         self.note_query_activity(msg.sender, msg.query_id)
+        if self.wants_trace("lookup.hop"):
+            self.emit(
+                "lookup.hop", span=msg.span_id, query_id=msg.query_id,
+                hop=msg.hop_count + 1, kind="walk",
+            )
         item = self.database.get(msg.key) or self.cache_lookup(msg.key)
         if item is not None:
-            self._answer(msg.origin, msg.query_id, item)
+            self._answer(msg.origin, msg.query_id, item, hops=msg.hop_count + 1)
             return
         if msg.ttl <= 1:
             return
@@ -77,13 +91,12 @@ class SearchMixin:
         if not candidates:
             return
         nxt = candidates[int(self.rng.integers(0, len(candidates)))]
-        self.send(
-            nxt,
-            WalkQuery(
-                d_id=msg.d_id, key=msg.key, origin=msg.origin,
-                query_id=msg.query_id, ttl=msg.ttl - 1,
-            ),
+        fwd = WalkQuery(
+            d_id=msg.d_id, key=msg.key, origin=msg.origin,
+            query_id=msg.query_id, ttl=msg.ttl - 1, span_id=msg.span_id,
         )
+        fwd.hop_count = msg.hop_count + 1
+        self.send(nxt, fwd)
 
     # ==================================================================
     # Partial / keyword search (Section 5.3)

@@ -102,7 +102,9 @@ class CacheMixin:
         self.cache.put(DataItem(key, value, d_id), self.engine.now)
         self.emit("cache.fill", key=key)
 
-    def cache_hit_answer(self, origin: int, qid: int, item: DataItem) -> None:
+    def cache_hit_answer(
+        self, origin: int, qid: int, item: DataItem, hops: int = 0
+    ) -> None:
         """Answer a query from cache (counts as served by us)."""
         self.answers_served += 1
-        self._answer(origin, qid, item)
+        self._answer(origin, qid, item, hops=hops)

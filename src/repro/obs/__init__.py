@@ -1,0 +1,52 @@
+"""repro.obs -- unified observability for the simulator and live runtime.
+
+One metric catalogue, two producers:
+
+* the **simulator** attaches a :class:`~repro.obs.bridge.TraceBridge`
+  to an experiment's :class:`~repro.sim.trace.TraceBus`;
+* a **live node** feeds the same-named instruments directly (transport
+  counters) and through its own bus+bridge (protocol trace events), and
+  serves them over HTTP ``/metrics`` (Prometheus text exposition
+  v0.0.4), ``/metrics.json`` and ``/healthz`` on its listen port.
+
+See ``docs/OBSERVABILITY.md`` for the metric name catalogue and label
+conventions.
+"""
+
+from .bridge import MEMBERSHIP_CATEGORIES, TraceBridge, declare_protocol_metrics
+from .prom import CONTENT_TYPE_PROM, handle_http_request, render_json, render_prometheus
+from .registry import (
+    DEFAULT_CONTACT_BUCKETS,
+    DEFAULT_FANOUT_BUCKETS,
+    DEFAULT_HOP_BUCKETS,
+    DEFAULT_LATENCY_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .top import fetch_snapshot, render_top, run_top, snapshot_delta
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_HOP_BUCKETS",
+    "DEFAULT_LATENCY_MS_BUCKETS",
+    "DEFAULT_CONTACT_BUCKETS",
+    "DEFAULT_FANOUT_BUCKETS",
+    "TraceBridge",
+    "declare_protocol_metrics",
+    "MEMBERSHIP_CATEGORIES",
+    "CONTENT_TYPE_PROM",
+    "render_prometheus",
+    "render_json",
+    "handle_http_request",
+    "fetch_snapshot",
+    "snapshot_delta",
+    "render_top",
+    "run_top",
+]

@@ -1,0 +1,164 @@
+"""TraceBus -> MetricsRegistry adapter.
+
+The simulator announces protocol events on a
+:class:`~repro.sim.trace.TraceBus`; the live runtime updates a
+:class:`~repro.obs.registry.MetricsRegistry` directly.  This bridge
+closes the gap in the sim direction: attach one to an experiment's bus
+and the run produces the *same metric names* a live node exposes on
+``/metrics`` -- which is what makes live-vs-sim validation of the
+reproduction a diff of two scrapes instead of two bespoke reports.
+
+Attaching a bridge subscribes real callbacks, so ``TraceBus.wants()``
+starts returning True for the bridged categories and the protocol code
+begins building payloads for them.  That cost is opt-in by
+construction: the determinism golden and the perf bench run without a
+bridge and stay on the no-subscriber fast path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..metrics.collectors import MembershipLog
+from ..sim.trace import TraceBus, TraceRecord
+from .registry import (
+    DEFAULT_CONTACT_BUCKETS,
+    DEFAULT_FANOUT_BUCKETS,
+    DEFAULT_HOP_BUCKETS,
+    DEFAULT_LATENCY_MS_BUCKETS,
+    MetricsRegistry,
+)
+
+__all__ = ["TraceBridge", "declare_protocol_metrics", "MEMBERSHIP_CATEGORIES"]
+
+# Membership/churn events folded into one labelled counter.  The
+# collector that logs these for the churn tests owns the list; reusing
+# it keeps the counter and the log covering the same protocol events.
+MEMBERSHIP_CATEGORIES: Tuple[str, ...] = MembershipLog.CATEGORIES
+
+
+def declare_protocol_metrics(registry: MetricsRegistry) -> dict:
+    """Declare the shared protocol metric catalogue on ``registry``.
+
+    Called by both the bridge (sim) and the node daemons (live) so the
+    two modes agree on names, labels and bucket ladders.  Returns the
+    families keyed by short name for callers that bind children.
+    """
+    return {
+        "frames": registry.counter(
+            "repro_frames_total",
+            "Protocol messages handled, by direction and message type",
+            labelnames=("direction", "type"),
+        ),
+        "lookups": registry.counter(
+            "repro_lookups_total",
+            "Completed lookups by terminal status",
+            labelnames=("status",),
+        ),
+        "hops": registry.histogram(
+            "repro_lookup_hops",
+            "Overlay hops travelled by the winning answer of a lookup",
+            buckets=DEFAULT_HOP_BUCKETS,
+        ),
+        "contacts": registry.histogram(
+            "repro_lookup_contacts",
+            "Distinct overlay contacts consumed by a lookup (connum)",
+            buckets=DEFAULT_CONTACT_BUCKETS,
+        ),
+        "latency": registry.histogram(
+            "repro_lookup_latency_ms",
+            "Lookup completion latency in protocol milliseconds",
+            buckets=DEFAULT_LATENCY_MS_BUCKETS,
+        ),
+        "hop_events": registry.counter(
+            "repro_lookup_hop_events_total",
+            "Per-hop lookup trace events, by hop kind (ring/flood/walk/bt)",
+            labelnames=("kind",),
+        ),
+        "fanout": registry.histogram(
+            "repro_flood_fanout",
+            "s-network flood fan-out per forwarding step",
+            buckets=DEFAULT_FANOUT_BUCKETS,
+        ),
+        "stored": registry.counter(
+            "repro_items_stored_total",
+            "Data items accepted into local stores",
+        ),
+        "peer_events": registry.counter(
+            "repro_peer_events_total",
+            "Membership/churn protocol events, by trace category",
+            labelnames=("category",),
+        ),
+    }
+
+
+class TraceBridge:
+    """Subscribes registry instruments to a TraceBus.
+
+    One bridge per (bus, registry) pair; ``detach()`` removes every
+    subscription it installed (restoring the bus's no-listener fast
+    path, relied on by perf tests).
+    """
+
+    def __init__(self, bus: TraceBus, registry: MetricsRegistry) -> None:
+        self.bus = bus
+        self.registry = registry
+        fams = declare_protocol_metrics(registry)
+        self._frames = fams["frames"]
+        self._lookups_ok = fams["lookups"].labels("success")
+        self._lookups_fail = fams["lookups"].labels("failure")
+        self._hops = fams["hops"].labels()
+        self._contacts = fams["contacts"].labels()
+        self._latency = fams["latency"].labels()
+        self._hop_events = fams["hop_events"]
+        self._fanout = fams["fanout"].labels()
+        self._stored = fams["stored"].labels()
+        self._peer_events = fams["peer_events"]
+        self._installed: List[Tuple[str, object]] = []
+        self._install()
+
+    # ------------------------------------------------------------------
+    def _install(self) -> None:
+        pairs = [
+            ("transport.send", self._on_send),
+            ("lookup.hop", self._on_hop),
+            ("lookup.done", self._on_done),
+            ("lookup.failed", self._on_failed),
+            ("flood.fanout", self._on_fanout),
+            ("data.stored", self._on_stored),
+        ]
+        pairs.extend((cat, self._on_membership) for cat in MEMBERSHIP_CATEGORIES)
+        for cat, fn in pairs:
+            self.bus.subscribe(cat, fn)
+            self._installed.append((cat, fn))
+
+    def detach(self) -> None:
+        for cat, fn in self._installed:
+            self.bus.unsubscribe(cat, fn)
+        self._installed.clear()
+
+    # ------------------------------------------------------------------
+    def _on_send(self, rec: TraceRecord) -> None:
+        self._frames.labels("tx", rec.payload.get("kind", "?")).inc()
+
+    def _on_hop(self, rec: TraceRecord) -> None:
+        self._hop_events.labels(rec.payload.get("kind", "?")).inc()
+
+    def _on_done(self, rec: TraceRecord) -> None:
+        p = rec.payload
+        self._lookups_ok.inc()
+        self._hops.observe(p.get("hops", 0))
+        self._contacts.observe(p.get("contacts", 0))
+        self._latency.observe(p.get("latency", 0.0))
+
+    def _on_failed(self, rec: TraceRecord) -> None:
+        self._lookups_fail.inc()
+
+    def _on_fanout(self, rec: TraceRecord) -> None:
+        self._fanout.observe(rec.payload.get("fanout", 0))
+
+    def _on_stored(self, rec: TraceRecord) -> None:
+        self._stored.inc()
+
+    def _on_membership(self, rec: TraceRecord) -> None:
+        self._peer_events.labels(rec.category).inc()

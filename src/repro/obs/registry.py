@@ -1,0 +1,293 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The same registry backs both execution modes of the reproduction:
+
+* a live :class:`~repro.runtime.node.PeerNode` updates instruments
+  directly (wire frames, bytes, transport retries) and exposes them on
+  its ``/metrics`` endpoint (:mod:`repro.obs.prom`);
+* a simulator run attaches a :class:`~repro.obs.bridge.TraceBridge`
+  that subscribes the *same instrument names* to the experiment's
+  :class:`~repro.sim.trace.TraceBus`, so live and simulated runs of the
+  same topology produce directly comparable series (the cross-mode
+  validation the paper's measured claims call for).
+
+Design constraints, in order: always-on cheap (one dict lookup + one
+int add on the hot path; label children are cached and can be bound
+once outside loops), stdlib-only, and faithful to the Prometheus data
+model (monotone counters, fixed-bucket cumulative histograms) so the
+text exposition in :mod:`repro.obs.prom` is mechanical.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_HOP_BUCKETS",
+    "DEFAULT_LATENCY_MS_BUCKETS",
+    "DEFAULT_CONTACT_BUCKETS",
+    "DEFAULT_FANOUT_BUCKETS",
+]
+
+# Bucket ladders shared by the live runtime and the sim bridge.  Hops
+# are small integers (ring walks + tree depth); contacts/fan-out grow
+# geometrically; latency is in protocol milliseconds.
+DEFAULT_HOP_BUCKETS: Tuple[float, ...] = (0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24)
+DEFAULT_LATENCY_MS_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000, 60_000
+)
+DEFAULT_CONTACT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+DEFAULT_FANOUT_BUCKETS: Tuple[float, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16)
+
+
+class Counter:
+    """Monotonically increasing value (one labelled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value; may also be function-backed (read at scrape)."""
+
+    __slots__ = ("value", "fn")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Evaluate ``fn`` at scrape time instead of storing a value."""
+        self.fn = fn
+
+    def read(self) -> float:
+        return float(self.fn()) if self.fn is not None else self.value
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``bounds`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches the overflow.  ``counts[i]`` is *non*-cumulative per bucket
+    (cumulated only at render time, keeping ``observe`` to one index
+    increment).
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Counts as cumulative ``le`` buckets (last entry == count)."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile via linear interpolation inside buckets.
+
+        Mirrors Prometheus' ``histogram_quantile``: NaN when empty, the
+        highest finite bound when the quantile lands in ``+Inf``.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        running = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if running + c >= rank:
+                if i >= len(self.bounds):  # +Inf bucket
+                    return self.bounds[-1] if self.bounds else float("nan")
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i]
+                return lo + (hi - lo) * ((rank - running) / c)
+            running += c
+        return self.bounds[-1] if self.bounds else float("nan")
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All children of one metric name, keyed by label-value tuples."""
+
+    __slots__ = ("name", "kind", "help", "labelnames", "buckets", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = labelnames
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    # ------------------------------------------------------------------
+    def labels(self, *values: object) -> Any:
+        """The child instrument for one label-value combination.
+
+        Children are created on first use and cached; hot paths should
+        bind the returned child once rather than re-resolving per event.
+        """
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            if len(key) != len(self.labelnames):
+                raise ValueError(
+                    f"{self.name} expects labels {self.labelnames}, got {key}"
+                )
+            if self.kind == "histogram":
+                child = Histogram(self.buckets or DEFAULT_LATENCY_MS_BUCKETS)
+            else:
+                child = _KINDS[self.kind]()
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterable[Tuple[Tuple[str, ...], Any]]:
+        return self._children.items()
+
+    # Label-less convenience: family doubles as its single child.
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self.labels().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+
+class MetricsRegistry:
+    """Declares and holds metric families.
+
+    Declaration is idempotent: re-declaring a name with the same kind
+    and label names returns the existing family (the sim bridge and the
+    live transport can both declare the shared catalogue without
+    coordinating); a conflicting re-declaration raises.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    def _declare(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        names = tuple(labelnames)
+        fam = self._families.get(name)
+        if fam is not None:
+            if fam.kind != kind or fam.labelnames != names:
+                raise ValueError(
+                    f"metric {name!r} already declared as {fam.kind}"
+                    f"{fam.labelnames}, not {kind}{names}"
+                )
+            return fam
+        fam = MetricFamily(name, kind, help, names, buckets)
+        self._families[name] = fam
+        return fam
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._declare(name, "counter", help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._declare(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_MS_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> MetricFamily:
+        return self._declare(name, "histogram", help, labelnames, buckets)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able dump of every family (the ``/metrics.json`` body).
+
+        Histograms carry their bucket bounds plus *non*-cumulative
+        counts, sum and count -- enough to reconstruct quantiles and
+        rates client-side (see :mod:`repro.obs.top`).
+        """
+        out: Dict[str, Any] = {}
+        for fam in self.families():
+            samples = []
+            for key, child in sorted(fam.children()):
+                labels = dict(zip(fam.labelnames, key))
+                if fam.kind == "histogram":
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "buckets": list(fam.buckets or ()),
+                            "counts": list(child.counts),
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                elif fam.kind == "gauge":
+                    samples.append({"labels": labels, "value": child.read()})
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[fam.name] = {
+                "type": fam.kind,
+                "help": fam.help,
+                "samples": samples,
+            }
+        return out

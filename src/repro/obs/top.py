@@ -1,0 +1,143 @@
+"""``repro top`` -- a refreshing rates/latency table for a live node.
+
+Polls ``http://HOST:PORT/metrics.json`` (the registry snapshot the node
+serves next to its Prometheus endpoint), computes per-interval rates
+from successive counter samples and p50/p99 estimates from histogram
+buckets, and renders the result with the project's fixed-width table
+formatter.  Stdlib-only (urllib) and read-only: attaching ``repro top``
+to a node changes nothing about the node beyond serving the scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..metrics.report import format_table
+from .registry import Histogram
+
+__all__ = ["fetch_snapshot", "snapshot_delta", "render_top", "run_top"]
+
+
+def fetch_snapshot(host: str, port: int, timeout: float = 5.0) -> Dict[str, Any]:
+    """One ``/metrics.json`` scrape, parsed."""
+    url = f"http://{host}:{port}/metrics.json"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _counter_total(snapshot: Dict[str, Any], name: str) -> float:
+    fam = snapshot.get(name)
+    if not fam:
+        return 0.0
+    return sum(s.get("value", 0.0) for s in fam.get("samples", ()))
+
+
+def _histogram_of(snapshot: Dict[str, Any], name: str) -> Optional[Histogram]:
+    """Rebuild a summable Histogram from a snapshot's bucket counts."""
+    fam = snapshot.get(name)
+    if not fam or fam.get("type") != "histogram":
+        return None
+    merged: Optional[Histogram] = None
+    for s in fam.get("samples", ()):
+        h = Histogram(s.get("buckets", ()))
+        counts = s.get("counts", ())
+        h.counts = list(counts) + [0] * (len(h.counts) - len(counts))
+        h.sum = float(s.get("sum", 0.0))
+        h.count = int(s.get("count", 0))
+        if merged is None:
+            merged = h
+        elif merged.bounds == h.bounds:
+            merged.counts = [a + b for a, b in zip(merged.counts, h.counts)]
+            merged.sum += h.sum
+            merged.count += h.count
+    return merged
+
+
+def snapshot_delta(
+    prev: Dict[str, Any], cur: Dict[str, Any], elapsed: float
+) -> List[Tuple[str, str, str, str]]:
+    """Rows of (series, rate/s, p50, p99) between two scrapes."""
+    elapsed = max(elapsed, 1e-9)
+    rows: List[Tuple[str, str, str, str]] = []
+
+    def rate(name: str) -> float:
+        return (_counter_total(cur, name) - _counter_total(prev, name)) / elapsed
+
+    for label, name in (
+        ("frames", "repro_frames_total"),
+        ("wire bytes", "repro_wire_bytes_total"),
+        ("lookups", "repro_lookups_total"),
+        ("hop events", "repro_lookup_hop_events_total"),
+        ("drops", "repro_frames_dropped_total"),
+    ):
+        rows.append((label, f"{rate(name):.1f}/s", "-", "-"))
+
+    for label, name in (
+        ("lookup hops", "repro_lookup_hops"),
+        ("lookup contacts", "repro_lookup_contacts"),
+        ("lookup latency ms", "repro_lookup_latency_ms"),
+        ("flood fanout", "repro_flood_fanout"),
+    ):
+        hist = _histogram_of(cur, name)
+        if hist is None or hist.count == 0:
+            rows.append((label, "0.0/s", "-", "-"))
+            continue
+        prev_hist = _histogram_of(prev, name)
+        observed = hist.count - (prev_hist.count if prev_hist else 0)
+        rows.append(
+            (
+                label,
+                f"{observed / elapsed:.1f}/s",
+                f"{hist.quantile(0.5):.1f}",
+                f"{hist.quantile(0.99):.1f}",
+            )
+        )
+    return rows
+
+
+def render_top(
+    host: str, port: int, prev: Dict[str, Any], cur: Dict[str, Any], elapsed: float
+) -> str:
+    rows = snapshot_delta(prev, cur, elapsed)
+    uptime = 0.0
+    fam = cur.get("repro_uptime_seconds")
+    if fam and fam.get("samples"):
+        uptime = fam["samples"][0].get("value", 0.0)
+    title = f"repro top -- {host}:{port} (uptime {uptime:.0f}s)"
+    return format_table(("series", "rate", "p50", "p99"), rows, title=title)
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval: float = 2.0,
+    count: int = 0,
+    out=None,
+) -> None:
+    """Refresh loop: scrape, diff, render; ``count=0`` runs until ^C.
+
+    ``count`` bounds the number of rendered frames (used by tests and
+    one-shot inspection); the first scrape only seeds the baseline.
+    """
+    out = out if out is not None else sys.stdout
+    prev = fetch_snapshot(host, port)
+    prev_t = time.monotonic()
+    frames = 0
+    try:
+        while count <= 0 or frames < count:
+            time.sleep(interval)
+            cur = fetch_snapshot(host, port)
+            now = time.monotonic()
+            table = render_top(host, port, prev, cur, now - prev_t)
+            if out is sys.stdout and out.isatty():
+                out.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+            out.write(table + "\n")
+            out.flush()
+            prev, prev_t = cur, now
+            frames += 1
+    except KeyboardInterrupt:
+        pass

@@ -357,6 +357,7 @@ class LookupRequest(Message):
     query_id: int = -1
     ttl: int = 0  # flood radius to use in the destination s-network
     attempt: int = 0  # reflood counter (re-keys flood deduplication)
+    span_id: int = -1  # lookup trace span (observability; -1 = untraced)
 
 
 @dataclass(slots=True)
@@ -369,6 +370,7 @@ class FloodQuery(Message):
     query_id: int = -1
     ttl: int = 0
     attempt: int = 0  # reflood counter (re-keys flood deduplication)
+    span_id: int = -1  # lookup trace span (observability; -1 = untraced)
 
 
 @dataclass(slots=True)
@@ -385,6 +387,7 @@ class WalkQuery(Message):
     origin: int = -1
     query_id: int = -1
     ttl: int = 0
+    span_id: int = -1  # lookup trace span (observability; -1 = untraced)
 
 
 @dataclass(slots=True)
@@ -431,6 +434,7 @@ class DataFound(Message):
     holder: int = -1
     holder_pid: int = 0
     holder_pred_pid: int = 0
+    hops: int = 0  # overlay hops the answered query travelled (tracing)
 
     # Constant size: a plain class attribute avoids a property call on
     # the transport hot path.

@@ -61,6 +61,12 @@ class BasePeer:
         self.trace = trace
         self.alive = True
         self.messages_received = 0
+        # Per-category wants() answers, cached against the bus version
+        # (same trick as Transport): emit() builds its payload dict
+        # before the guard runs, so hot handlers ask wants_trace()
+        # first and skip the call entirely.
+        self._wants_cache: Dict[str, bool] = {}
+        self._wants_version = -1
         self._dispatch = self._build_dispatch()
         # Shadow the send() method with a pre-bound partial: one less
         # Python frame on the hottest call path in the system.
@@ -131,6 +137,27 @@ class BasePeer:
         """Publish a trace record (no-op unless someone wants ``category``)."""
         if self.trace is not None and self.trace.wants(category):
             self.trace.publish(self.engine.now, category, peer=self.address, **payload)
+
+    def wants_trace(self, category: str) -> bool:
+        """Cached ``trace.wants(category)`` for per-message call sites.
+
+        ``emit()`` evaluates its keyword arguments before the guard can
+        run; handlers on the message hot path therefore check this first
+        so that with no subscriber the cost is one dict lookup.  The
+        cache is invalidated wholesale whenever the bus's listener set
+        changes (``TraceBus.version``).
+        """
+        trace = self.trace
+        if trace is None:
+            return False
+        if trace.version != self._wants_version:
+            self._wants_cache.clear()
+            self._wants_version = trace.version
+        want = self._wants_cache.get(category)
+        if want is None:
+            want = trace.wants(category)
+            self._wants_cache[category] = want
+        return want
 
     def crash(self) -> None:
         """Die abruptly: no notifications, in-flight messages undeliverable."""

@@ -13,8 +13,10 @@ wire format         (none -- in-process objects)   :mod:`repro.runtime.codec`
 ==================  =============================  ==========================
 
 Entry points: ``repro serve`` / ``repro node`` / ``repro put`` /
-``repro get`` on the CLI, :class:`~repro.runtime.localnet.LocalNet`
-for in-process multi-node tests.
+``repro get`` / ``repro status`` / ``repro top`` on the CLI,
+:class:`~repro.runtime.localnet.LocalNet` for in-process multi-node
+tests.  Every daemon also serves ``/metrics`` + ``/healthz`` over HTTP
+on its protocol port (see :mod:`repro.obs` and docs/OBSERVABILITY.md).
 """
 
 from .aio_transport import AioTransport

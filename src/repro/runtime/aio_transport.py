@@ -32,13 +32,17 @@ Design notes
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Iterable, List, Optional, Tuple
+import logging
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..obs.registry import MetricsRegistry
 from ..overlay.messages import Message
 from ..overlay.transport import Actor, TransportBase
-from .codec import MAX_FRAME, CodecError, MessageCodec, _LEN, unpack_endpoint
+from .codec import MAX_FRAME, CodecError, MessageCodec, _LEN, format_endpoint, unpack_endpoint
 
-__all__ = ["AioTransport", "read_frame"]
+__all__ = ["AioTransport", "read_frame", "read_frame_body"]
+
+logger = logging.getLogger("repro.runtime.transport")
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
@@ -47,6 +51,18 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
         header = await reader.readexactly(_LEN.size)
     except (asyncio.IncompleteReadError, ConnectionError):
         return None
+    return await read_frame_body(reader, header)
+
+
+async def read_frame_body(
+    reader: asyncio.StreamReader, header: bytes
+) -> Optional[bytes]:
+    """Read a frame's payload given its already-consumed length prefix.
+
+    Split out of :func:`read_frame` so the node daemon can sniff the
+    first bytes of an inbound connection (HTTP vs framed protocol) and
+    still resume normal framing with the bytes it consumed.
+    """
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
         raise CodecError(f"incoming frame too large: {length} bytes")
@@ -59,13 +75,14 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
 class _Conn:
     """Outbound connection state for one destination address."""
 
-    __slots__ = ("queue", "wakeup", "task", "failed")
+    __slots__ = ("queue", "wakeup", "task", "failed", "connects")
 
     def __init__(self) -> None:
         self.queue: List[bytes] = []
         self.wakeup = asyncio.Event()
         self.task: Optional[asyncio.Task] = None
         self.failed = False
+        self.connects = 0  # successful connects (>1 means reconnects)
 
 
 class AioTransport(TransportBase):
@@ -83,6 +100,11 @@ class AioTransport(TransportBase):
         Connect attempts before a destination is declared unreachable.
     backoff_base:
         First retry delay in seconds; doubles per attempt (capped at 2s).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When
+        given, the transport feeds per-type tx frame counts, wire
+        bytes, and per-destination drop/retry/reconnect counters into
+        it (the node's ``/metrics`` endpoint exposes them).
     """
 
     def __init__(
@@ -92,6 +114,7 @@ class AioTransport(TransportBase):
         op_timeout: float = 5.0,
         max_retries: int = 4,
         backoff_base: float = 0.05,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.codec = codec
         self.loop = loop if loop is not None else asyncio.get_event_loop()
@@ -101,9 +124,49 @@ class AioTransport(TransportBase):
         self.messages_sent = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
+        # Per-destination accounting, kept even without a registry so
+        # drops are never invisible (the bool return of send() is
+        # routinely ignored by fire-and-forget protocol code).
+        self.dropped_by_dest: Dict[int, int] = {}
+        self.retried_by_dest: Dict[int, int] = {}
+        self.reconnects_by_dest: Dict[int, int] = {}
+        self._drop_warned: Set[int] = set()
         self._actors: Dict[int, Actor] = {}
         self._conns: Dict[int, _Conn] = {}
         self._closing = False
+        self.registry = registry
+        self._frames_fam = None
+        self._tx_children: Dict[type, object] = {}
+        self._wire_bytes_tx = None
+        self._dropped_fam = None
+        self._retried_fam = None
+        self._reconnects_fam = None
+        if registry is not None:
+            self._frames_fam = registry.counter(
+                "repro_frames_total",
+                "Protocol messages handled, by direction and message type",
+                labelnames=("direction", "type"),
+            )
+            self._wire_bytes_tx = registry.counter(
+                "repro_wire_bytes_total",
+                "Wire payload bytes moved, by direction",
+                labelnames=("direction",),
+            ).labels("tx")
+            self._dropped_fam = registry.counter(
+                "repro_frames_dropped_total",
+                "Frames dropped after connect retries were exhausted",
+                labelnames=("dest",),
+            )
+            self._retried_fam = registry.counter(
+                "repro_frames_retried_total",
+                "Frames re-queued after a connection died mid-write",
+                labelnames=("dest",),
+            )
+            self._reconnects_fam = registry.counter(
+                "repro_transport_reconnects_total",
+                "Successful re-connects to a previously connected destination",
+                labelnames=("dest",),
+            )
 
     # ------------------------------------------------------------------
     # Registry (local actors on this transport)
@@ -141,13 +204,19 @@ class AioTransport(TransportBase):
                 return False
             self.loop.call_soon(local.receive, msg)
             self.messages_sent += 1
+            if self._frames_fam is not None:
+                self._count_tx(type(msg))
             return True
         try:
             frame = self.codec.frame(msg)
         except CodecError:
             self.messages_dropped += 1
             raise
-        return self._enqueue(dst_address, frame)
+        if self._enqueue(dst_address, frame):
+            if self._frames_fam is not None:
+                self._count_tx(type(msg))
+            return True
+        return False
 
     def send_many(self, src: Actor, dst_addresses: Iterable[int], msg: Message) -> int:
         """Fan out one message; the frame is encoded exactly once."""
@@ -170,7 +239,40 @@ class AioTransport(TransportBase):
                 frame = self.codec.frame(msg)
             if self._enqueue(dst, frame):
                 delivered += 1
+        if delivered and self._frames_fam is not None:
+            self._count_tx(type(msg), delivered)
         return delivered
+
+    def _count_tx(self, msg_type: type, amount: int = 1) -> None:
+        child = self._tx_children.get(msg_type)
+        if child is None:
+            child = self._frames_fam.labels("tx", msg_type.__name__)
+            self._tx_children[msg_type] = child
+        child.inc(amount)
+
+    def _note_dropped(self, dst_address: int, count: int) -> None:
+        """Account frames lost to an unreachable destination.
+
+        Logged at WARNING exactly once per destination: a dead peer can
+        eat thousands of flood frames and repeating the line per frame
+        would drown the log without adding information.
+        """
+        if count <= 0:
+            return
+        self.messages_dropped += count
+        total = self.dropped_by_dest.get(dst_address, 0) + count
+        self.dropped_by_dest[dst_address] = total
+        endpoint = format_endpoint(dst_address)
+        if self._dropped_fam is not None:
+            self._dropped_fam.labels(endpoint).inc(count)
+        if dst_address not in self._drop_warned:
+            self._drop_warned.add(dst_address)
+            logger.warning(
+                "dropping frames to unreachable %s after %d connect attempts "
+                "(%d dropped so far; further drops to this destination are "
+                "counted but not logged)",
+                endpoint, self.max_retries, total,
+            )
 
     def _enqueue(self, dst_address: int, frame: bytes) -> bool:
         conn = self._conns.get(dst_address)
@@ -178,7 +280,7 @@ class AioTransport(TransportBase):
             conn = _Conn()
             self._conns[dst_address] = conn
         if conn.failed:
-            self.messages_dropped += 1
+            self._note_dropped(dst_address, 1)
             return False
         conn.queue.append(frame)
         conn.wakeup.set()
@@ -212,21 +314,39 @@ class AioTransport(TransportBase):
                     self._abort(writer)
                     writer = None
                 if writer is None or writer.is_closing():
-                    reader, writer = await self._connect(host, port, conn)
+                    reader, writer = await self._connect(dst_address, host, port, conn)
                     if writer is None:
                         return  # marked failed; queued frames dropped
+                    conn.connects += 1
+                    if conn.connects > 1:
+                        self.reconnects_by_dest[dst_address] = (
+                            self.reconnects_by_dest.get(dst_address, 0) + 1
+                        )
+                        if self._reconnects_fam is not None:
+                            self._reconnects_fam.labels(
+                                format_endpoint(dst_address)
+                            ).inc()
                 batch, conn.queue = conn.queue, []
                 data = b"".join(batch)
                 try:
                     writer.write(data)
                     await asyncio.wait_for(writer.drain(), self.op_timeout)
                     self.bytes_sent += len(data)
+                    if self._wire_bytes_tx is not None:
+                        self._wire_bytes_tx.inc(len(data))
                 except (OSError, asyncio.TimeoutError):
                     # Connection died mid-write: put the batch back and
                     # reconnect (frames may be duplicated at the far
                     # end, which the protocol tolerates -- dispatch is
                     # idempotent for every message type).
                     conn.queue = batch + conn.queue
+                    self.retried_by_dest[dst_address] = (
+                        self.retried_by_dest.get(dst_address, 0) + len(batch)
+                    )
+                    if self._retried_fam is not None:
+                        self._retried_fam.labels(format_endpoint(dst_address)).inc(
+                            len(batch)
+                        )
                     self._abort(writer)
                     writer = None
         finally:
@@ -234,7 +354,7 @@ class AioTransport(TransportBase):
                 self._abort(writer)
 
     async def _connect(
-        self, host: str, port: int, conn: _Conn
+        self, dst_address: int, host: str, port: int, conn: _Conn
     ) -> Tuple[Optional[asyncio.StreamReader], Optional[asyncio.StreamWriter]]:
         delay = self.backoff_base
         for attempt in range(self.max_retries):
@@ -250,8 +370,9 @@ class AioTransport(TransportBase):
                     await asyncio.sleep(delay)
                     delay = min(delay * 2, 2.0)
         conn.failed = True
-        self.messages_dropped += len(conn.queue)
+        dropped = len(conn.queue)
         conn.queue.clear()
+        self._note_dropped(dst_address, dropped)
         return None, None
 
     @staticmethod

@@ -17,6 +17,7 @@ from ..core.server import BootstrapServer
 from ..overlay.idspace import IdSpace
 from ..overlay.messages import Message
 from .client import ClientReply, ClientStatus
+from .codec import WIRE_VERSION
 from .node import NodeDaemon
 
 __all__ = ["BootstrapNode"]
@@ -37,6 +38,7 @@ class BootstrapNode(NodeDaemon):
             idspace=IdSpace(self.config.id_bits),
             config=self.config,
             rng=np.random.default_rng(self.seed),
+            trace=self.trace,
         )
 
     @property
@@ -45,11 +47,16 @@ class BootstrapNode(NodeDaemon):
 
     async def handle_client(self, msg: Message) -> ClientReply:
         if isinstance(msg, ClientStatus):
-            return ClientReply(ok=True, payload=self.status_snapshot())
+            payload = self.status_snapshot()
+            if msg.include_metrics:
+                payload["metrics"] = self.registry.snapshot()
+            return ClientReply(ok=True, payload=payload)
         return await super().handle_client(msg)
 
     def status_snapshot(self) -> Dict[str, Any]:
         snap = self.server.directory_snapshot()
         snap["endpoint"] = f"{self.host}:{self.port}"
         snap["address"] = self.address
+        snap["uptime_s"] = round(self.uptime(), 3)
+        snap["codec_version"] = WIRE_VERSION
         return snap

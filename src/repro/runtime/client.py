@@ -49,7 +49,14 @@ class ClientGet(Message):
 
 @dataclass(slots=True)
 class ClientStatus(Message):
-    """Ask a node (or the bootstrap server) for a JSON status snapshot."""
+    """Ask a node (or the bootstrap server) for a JSON status snapshot.
+
+    ``include_metrics`` folds the node's full metrics-registry snapshot
+    (the same data ``/metrics.json`` serves) into the reply payload
+    under ``"metrics"``.
+    """
+
+    include_metrics: bool = False
 
 
 @dataclass(slots=True)

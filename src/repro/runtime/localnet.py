@@ -148,6 +148,18 @@ class LocalNet:
             "nodes": [f"{n.host}:{n.port}" for n in self.nodes],
         }
 
+    def metrics_snapshots(self) -> Dict[str, Dict[str, object]]:
+        """Registry snapshot per daemon, keyed by endpoint.
+
+        The in-process equivalent of scraping ``/metrics.json`` from
+        every node -- what the observability tests diff against a
+        simulated run of the same topology.
+        """
+        daemons = ([self.bootstrap] if self.bootstrap is not None else []) + self.nodes
+        return {
+            f"{d.host}:{d.port}": d.registry.snapshot() for d in daemons
+        }
+
     # ------------------------------------------------------------------
     async def stop(self) -> None:
         """Tear everything down; safe to call after partial start."""

@@ -27,14 +27,27 @@ import numpy as np
 from ..core.config import HybridConfig
 from ..core.hybridpeer import HybridPeer
 from ..core.lookup import PENDING, SUCCESS, QueryRegistry
+from ..obs.bridge import TraceBridge
+from ..obs.prom import handle_http_request
+from ..obs.registry import MetricsRegistry
 from ..overlay.idspace import IdSpace
 from ..overlay.messages import DataFound, Message
-from .aio_transport import AioTransport, read_frame
+from ..sim.trace import TraceBus
+from .aio_transport import AioTransport, read_frame_body
 from .client import ClientGet, ClientPut, ClientReply, ClientStatus, runtime_codec
-from .codec import CodecError, pack_endpoint
+from .codec import WIRE_VERSION, CodecError, pack_endpoint
 from .loop_engine import LoopEngine
 
 __all__ = ["RuntimePeer", "NodeDaemon", "PeerNode"]
+
+# An inbound connection is sniffed by its first 4 bytes: these prefixes
+# mean a plain-text HTTP request (scraper hitting /metrics or /healthz);
+# anything else is a big-endian frame length.  No protocol frame can
+# alias them -- as a length either would exceed MAX_FRAME by ~100x.
+_HTTP_PREFIXES = (b"GET ", b"HEAD")
+
+# Bound on the HTTP request head we are willing to buffer.
+_MAX_HTTP_HEAD = 8192
 
 
 class RuntimePeer(HybridPeer):
@@ -76,11 +89,33 @@ class NodeDaemon:
         self.config = config
         self.seed = seed
         self.codec = runtime_codec()
+        # Observability: every daemon carries its own registry; the
+        # trace bus + bridge replay the protocol core's trace emissions
+        # (lookup spans, hop timings, stores) into the same metric
+        # names the simulator produces, so a live scrape and a sim run
+        # are directly comparable.
+        self.registry = MetricsRegistry()
+        self.trace = TraceBus()
+        self.bridge = TraceBridge(self.trace, self.registry)
         self.engine: Optional[LoopEngine] = None
         self.transport: Optional[AioTransport] = None
         self.actor: Any = None
         self.address = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started_at: Optional[float] = None
         self._server: Optional[asyncio.base_events.Server] = None
+        # rx frame counting (per decoded message type), child-cached.
+        self._rx_children: Dict[type, Any] = {}
+        self._rx_frames_fam = self.registry.counter(
+            "repro_frames_total",
+            "Protocol messages handled, by direction and message type",
+            labelnames=("direction", "type"),
+        )
+        self._rx_bytes = self.registry.counter(
+            "repro_wire_bytes_total",
+            "Wire payload bytes moved, by direction",
+            labelnames=("direction",),
+        ).labels("rx")
         # Inbound connections stay open as long as the remote's pooled
         # transport wants them; tracked so stop() can reap them all.
         self._inbound: Dict[asyncio.Task, asyncio.StreamWriter] = {}
@@ -95,13 +130,28 @@ class NodeDaemon:
         if self.port == 0:  # ephemeral: learn what the kernel picked
             self.port = self._server.sockets[0].getsockname()[1]
         self.address = pack_endpoint(self.host, self.port)
+        self._loop = loop
+        self._started_at = loop.time()
         self.engine = LoopEngine(loop)
-        self.transport = AioTransport(self.codec, loop)
+        self.transport = AioTransport(self.codec, loop, registry=self.registry)
         self.actor = self._make_actor()
         self.transport.register(self.actor)
+        self._register_gauges()
 
     def _make_actor(self) -> Any:
         raise NotImplementedError
+
+    def _register_gauges(self) -> None:
+        """Function-backed gauges read lazily at scrape time only."""
+        self.registry.gauge(
+            "repro_uptime_seconds", "Seconds since this daemon started"
+        ).set_function(self.uptime)
+
+    def uptime(self) -> float:
+        """Seconds since start() bound the listening socket (0 before)."""
+        if self._loop is None or self._started_at is None:
+            return 0.0
+        return self._loop.time() - self._started_at
 
     async def stop(self) -> None:
         """Tear down: listener, inbound conns, timers, outbound pool."""
@@ -136,20 +186,35 @@ class NodeDaemon:
         if task is not None:
             self._inbound[task] = writer
         try:
-            while True:
-                payload = await read_frame(reader)
+            # Sniff the first 4 bytes: an HTTP verb means a scraper (or
+            # a human with curl) is on the line; anything else is the
+            # length prefix of a protocol frame.
+            try:
+                head: Optional[bytes] = await reader.readexactly(4)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                head = None
+            if head is not None and head in _HTTP_PREFIXES:
+                await self._serve_http(reader, writer, head)
+                return
+            while head is not None:
+                payload = await read_frame_body(reader, head)
                 if payload is None:
                     break
                 try:
                     msg = self.codec.decode(payload)
                 except CodecError:
                     break  # corrupt/foreign stream: drop the connection
+                self._count_rx(type(msg), len(payload) + 4)
                 if isinstance(msg, (ClientPut, ClientGet, ClientStatus)):
                     reply = await self.handle_client(msg)
                     writer.write(self.codec.frame(reply))
                     await writer.drain()
                 elif self.actor is not None and self.actor.alive:
                     self.actor.receive(msg)
+                try:
+                    head = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    head = None
         except (OSError, ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -162,6 +227,40 @@ class NodeDaemon:
                 writer.close()
             except (OSError, ConnectionError):
                 pass
+
+    def _count_rx(self, msg_type: type, nbytes: int) -> None:
+        child = self._rx_children.get(msg_type)
+        if child is None:
+            child = self._rx_frames_fam.labels("rx", msg_type.__name__)
+            self._rx_children[msg_type] = child
+        child.inc()
+        self._rx_bytes.inc(nbytes)
+
+    async def _serve_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, head: bytes
+    ) -> None:
+        """Answer one HTTP request (scrape endpoint) and close."""
+        data = head
+        while b"\r\n\r\n" not in data and len(data) < _MAX_HTTP_HEAD:
+            chunk = await reader.read(1024)
+            if not chunk:
+                break
+            data += chunk
+        request_line = data.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        response = handle_http_request(
+            request_line, self.registry, self.health_snapshot
+        )
+        writer.write(response)
+        await writer.drain()
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """The ``/healthz`` body; subclasses add role-specific liveness."""
+        return {
+            "ok": True,
+            "endpoint": f"{self.host}:{self.port}",
+            "uptime_s": round(self.uptime(), 3),
+            "codec_version": WIRE_VERSION,
+        }
 
     async def handle_client(self, msg: Message) -> ClientReply:
         return ClientReply(ok=False, error=f"unsupported verb {type(msg).__name__}")
@@ -200,7 +299,18 @@ class PeerNode(NodeDaemon):
             queries=self.queries,
             capacity=self.capacity,
             interest=self.interest,
+            trace=self.trace,
         )
+
+    def _register_gauges(self) -> None:
+        super()._register_gauges()
+        peer = self.peer
+        self.registry.gauge(
+            "repro_node_joined", "1 once the join handshake completed"
+        ).set_function(lambda: 1.0 if peer.joined else 0.0)
+        self.registry.gauge(
+            "repro_keys_stored", "Data items in this peer's local database"
+        ).set_function(lambda: float(len(peer.database)))
 
     @property
     def peer(self) -> RuntimePeer:
@@ -225,7 +335,10 @@ class PeerNode(NodeDaemon):
         if isinstance(msg, ClientGet):
             return await self._do_get(msg)
         if isinstance(msg, ClientStatus):
-            return ClientReply(ok=True, payload=self.status_snapshot())
+            payload = self.status_snapshot()
+            if msg.include_metrics:
+                payload["metrics"] = self.registry.snapshot()
+            return ClientReply(ok=True, payload=payload)
         return await super().handle_client(msg)
 
     async def _do_put(self, msg: ClientPut) -> ClientReply:
@@ -272,4 +385,12 @@ class PeerNode(NodeDaemon):
             "successor": p.successor,
             "keys_stored": len(p.database),
             "messages_received": p.messages_received,
+            "uptime_s": round(self.uptime(), 3),
+            "codec_version": WIRE_VERSION,
         }
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        health = super().health_snapshot()
+        health["role"] = self.peer.role
+        health["joined"] = self.peer.joined
+        return health

@@ -79,7 +79,14 @@ class TraceBus:
         if category == "*":
             self._any_subs.remove(fn)
         else:
-            self._subs[category].remove(fn)
+            subs = self._subs[category]
+            subs.remove(fn)
+            if not subs:
+                # Prune the empty list so ``active`` (truthiness of the
+                # dict) goes back to False after the last listener
+                # leaves -- otherwise publish keeps building records
+                # nobody receives.
+                del self._subs[category]
         self.version += 1
 
     # ------------------------------------------------------------------
@@ -113,7 +120,13 @@ class TraceBus:
             self._record_categories is None or category in self._record_categories
         ):
             self._record_buffer.append(rec)
-        for fn in self._subs.get(category, ()):
-            fn(rec)
-        for fn in self._any_subs:
-            fn(rec)
+        # Iterate over snapshots: a subscriber may unsubscribe itself
+        # (or others) while handling the record, and list mutation
+        # during iteration would silently skip the next subscriber.
+        subs = self._subs.get(category)
+        if subs:
+            for fn in tuple(subs):
+                fn(rec)
+        if self._any_subs:
+            for fn in tuple(self._any_subs):
+                fn(rec)

@@ -1,0 +1,131 @@
+"""Tests for the Prometheus text renderer and the HTTP micro-router."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    CONTENT_TYPE_PROM,
+    MetricsRegistry,
+    handle_http_request,
+    render_json,
+    render_prometheus,
+)
+
+
+def _loaded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_frames_total", "frames", labelnames=("direction", "type")
+    ).labels("tx", "Hello").inc(7)
+    reg.gauge("repro_uptime_seconds", "uptime").set(12.5)
+    reg.histogram("repro_lookup_hops", "hops", buckets=(1, 2, 4)).labels()
+    for v in (1, 2, 3, 9):
+        reg.get("repro_lookup_hops").observe(v)
+    return reg
+
+
+class TestRenderPrometheus:
+    def test_help_and_type_lines(self):
+        text = render_prometheus(_loaded_registry())
+        assert "# HELP repro_frames_total frames" in text
+        assert "# TYPE repro_frames_total counter" in text
+        assert "# TYPE repro_lookup_hops histogram" in text
+        assert "# TYPE repro_uptime_seconds gauge" in text
+
+    def test_counter_sample_with_labels(self):
+        text = render_prometheus(_loaded_registry())
+        assert 'repro_frames_total{direction="tx",type="Hello"} 7' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        lines = render_prometheus(_loaded_registry()).splitlines()
+        buckets = [l for l in lines if l.startswith("repro_lookup_hops_bucket")]
+        assert buckets == [
+            'repro_lookup_hops_bucket{le="1"} 1',
+            'repro_lookup_hops_bucket{le="2"} 2',
+            'repro_lookup_hops_bucket{le="4"} 3',
+            'repro_lookup_hops_bucket{le="+Inf"} 4',
+        ]
+        assert "repro_lookup_hops_sum 15" in lines
+        assert "repro_lookup_hops_count 4" in lines
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "h", labelnames=("k",)).labels('a"b\\c').inc()
+        text = render_prometheus(reg)
+        assert 'x{k="a\\"b\\\\c"} 1' in text
+
+    def test_render_json_round_trips(self):
+        reg = _loaded_registry()
+        snap = json.loads(render_json(reg))
+        assert snap == reg.snapshot()
+
+
+class TestHttpRouter:
+    def _parse(self, raw: bytes):
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("ascii").split("\r\n")
+        status = lines[0].split(" ", 1)[1]
+        headers = dict(l.split(": ", 1) for l in lines[1:])
+        return status, headers, body
+
+    def test_get_metrics(self):
+        reg = _loaded_registry()
+        status, headers, body = self._parse(
+            handle_http_request("GET /metrics HTTP/1.1", reg)
+        )
+        assert status == "200 OK"
+        assert headers["Content-Type"] == CONTENT_TYPE_PROM
+        assert int(headers["Content-Length"]) == len(body)
+        assert b"repro_frames_total" in body
+
+    def test_get_metrics_json(self):
+        reg = _loaded_registry()
+        status, headers, body = self._parse(
+            handle_http_request("GET /metrics.json HTTP/1.1", reg)
+        )
+        assert status == "200 OK"
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body) == reg.snapshot()
+
+    def test_healthz_uses_callable(self):
+        reg = MetricsRegistry()
+        raw = handle_http_request(
+            "GET /healthz HTTP/1.1", reg, health=lambda: {"ok": True, "role": "t"}
+        )
+        status, _, body = self._parse(raw)
+        assert status == "200 OK"
+        assert json.loads(body) == {"ok": True, "role": "t"}
+
+    def test_query_string_ignored(self):
+        status, _, _ = self._parse(
+            handle_http_request("GET /healthz?probe=1 HTTP/1.1", MetricsRegistry())
+        )
+        assert status == "200 OK"
+
+    def test_head_returns_headers_only(self):
+        reg = _loaded_registry()
+        raw = handle_http_request("HEAD /metrics HTTP/1.1", reg)
+        status, headers, body = self._parse(raw)
+        assert status == "200 OK"
+        assert body == b""
+        # Content-Length still advertises what a GET would carry.
+        assert int(headers["Content-Length"]) > 0
+
+    def test_unknown_path_404(self):
+        status, _, _ = self._parse(
+            handle_http_request("GET /nope HTTP/1.1", MetricsRegistry())
+        )
+        assert status == "404 Not Found"
+
+    def test_post_405(self):
+        status, _, _ = self._parse(
+            handle_http_request("POST /metrics HTTP/1.1", MetricsRegistry())
+        )
+        assert status == "405 Method Not Allowed"
+
+    def test_garbage_request_line_400(self):
+        status, _, _ = self._parse(
+            handle_http_request("garbage", MetricsRegistry())
+        )
+        assert status == "400 Bad Request"

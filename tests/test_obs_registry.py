@@ -1,0 +1,151 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_HOP_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", "help")
+        assert fam.labels().value == 0.0
+        fam.inc()
+        fam.inc(2.5)
+        assert fam.labels().value == 3.5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", "help")
+        with pytest.raises(ValueError):
+            fam.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("f_total", "help", labelnames=("dir", "type"))
+        fam.labels("tx", "Hello").inc(3)
+        fam.labels("rx", "Hello").inc(1)
+        assert fam.labels("tx", "Hello").value == 3.0
+        assert fam.labels("rx", "Hello").value == 1.0
+        # Same label values return the cached child.
+        assert fam.labels("tx", "Hello") is fam.labels("tx", "Hello")
+
+    def test_label_arity_checked(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("f_total", "help", labelnames=("dir",))
+        with pytest.raises(ValueError):
+            fam.labels("tx", "extra")
+        with pytest.raises(ValueError):
+            fam.labels()  # declared with labels: bare access is ambiguous
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g", "help").labels()
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.read() == 13.0
+
+    def test_function_gauge_reads_live(self):
+        reg = MetricsRegistry()
+        box = {"v": 1.0}
+        reg.gauge("g", "help").set_function(lambda: box["v"])
+        assert reg.get("g").labels().read() == 1.0
+        box["v"] = 7.0
+        assert reg.get("g").labels().read() == 7.0
+
+
+class TestHistogram:
+    def test_counts_are_per_bucket_not_cumulative(self):
+        h = Histogram((1, 5, 10))
+        for v in (0.5, 3, 3, 7, 100):
+            h.observe(v)
+        assert h.counts == [1, 2, 1, 1]  # <=1, <=5, <=10, +Inf
+        assert h.count == 5
+        assert h.sum == pytest.approx(113.5)
+
+    def test_cumulative_view(self):
+        h = Histogram((1, 5, 10))
+        for v in (0.5, 3, 3, 7, 100):
+            h.observe(v)
+        assert h.cumulative() == [1, 3, 4, 5]
+
+    def test_quantile_interpolates(self):
+        h = Histogram((0, 1, 2, 3, 4, 5))
+        for hops in (1, 2, 2, 3, 3, 3, 4):
+            h.observe(hops)
+        q50 = h.quantile(0.5)
+        assert 2.0 <= q50 <= 3.0
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(0.99)
+
+    def test_quantile_empty_is_nan(self):
+        h = Histogram((1, 2))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_quantile_overflow_clamps_to_highest_finite_bound(self):
+        h = Histogram((1, 2))
+        h.observe(1000)
+        assert h.quantile(0.99) == 2.0
+
+    def test_boundary_value_lands_in_le_bucket(self):
+        h = Histogram((1, 5))
+        h.observe(1)  # le="1" is inclusive, Prometheus-style
+        assert h.counts[0] == 1
+
+
+class TestRegistry:
+    def test_idempotent_declaration_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help", labelnames=("k",))
+        b = reg.counter("x_total", "other help ignored", labelnames=("k",))
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "help")
+        with pytest.raises(ValueError):
+            reg.gauge("x", "help")
+
+    def test_labelnames_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "help", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x", "help", labelnames=("b",))
+
+    def test_families_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz", "help")
+        reg.counter("aaa", "help")
+        assert [f.name for f in reg.families()] == ["aaa", "zzz"]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "c help", labelnames=("k",)).labels("v").inc(2)
+        reg.gauge("g", "g help").set(4)
+        reg.histogram("h", "h help", buckets=DEFAULT_HOP_BUCKETS).observe(3)
+        snap = reg.snapshot()
+        assert snap["c_total"]["type"] == "counter"
+        assert snap["c_total"]["samples"][0] == {
+            "labels": {"k": "v"},
+            "value": 2.0,
+        }
+        assert snap["g"]["samples"][0]["value"] == 4.0
+        hist = snap["h"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["sum"] == 3.0
+        assert list(hist["buckets"]) == list(DEFAULT_HOP_BUCKETS)
+        assert sum(hist["counts"]) == 1
+        # Snapshot must be JSON-able as-is (the /metrics.json contract).
+        import json
+
+        json.dumps(snap)

@@ -1,0 +1,78 @@
+"""Tests for the ``repro top`` snapshot diffing and rendering."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import MetricsRegistry, snapshot_delta
+from repro.obs.bridge import declare_protocol_metrics
+from repro.obs.top import render_top
+
+
+def _snapshot(frames=0, hops=()):
+    reg = MetricsRegistry()
+    fams = declare_protocol_metrics(reg)
+    reg.gauge("repro_uptime_seconds", "uptime").set(42.0)
+    if frames:
+        fams["frames"].labels("tx", "Hello").inc(frames)
+    for h in hops:
+        fams["hops"].observe(h)
+    return reg.snapshot()
+
+
+def test_rates_come_from_counter_deltas():
+    prev = _snapshot(frames=10)
+    cur = _snapshot(frames=30)
+    rows = {r[0]: r for r in snapshot_delta(prev, cur, elapsed=2.0)}
+    assert rows["frames"][1] == "10.0/s"  # (30-10)/2
+
+
+def test_counter_rate_sums_across_label_children():
+    reg = MetricsRegistry()
+    fam = declare_protocol_metrics(reg)["frames"]
+    fam.labels("tx", "Hello").inc(4)
+    fam.labels("rx", "Hello").inc(6)
+    rows = {r[0]: r for r in snapshot_delta(_snapshot(), reg.snapshot(), 1.0)}
+    assert rows["frames"][1] == "10.0/s"
+
+
+def test_histogram_rows_carry_quantiles():
+    cur = _snapshot(hops=(1, 2, 2, 3, 8))
+    rows = {r[0]: r for r in snapshot_delta(_snapshot(), cur, elapsed=1.0)}
+    series, rate, p50, p99 = rows["lookup hops"]
+    assert rate == "5.0/s"
+    assert float(p50) <= float(p99)
+    assert float(p99) <= 10.0  # inside the hop bucket ladder
+
+
+def test_empty_histogram_renders_placeholder():
+    rows = {r[0]: r for r in snapshot_delta(_snapshot(), _snapshot(), 1.0)}
+    assert rows["lookup hops"] == ("lookup hops", "0.0/s", "-", "-")
+
+
+def test_missing_families_do_not_crash():
+    # A bootstrap node never declares lookup histograms; top must cope.
+    rows = snapshot_delta({}, {}, elapsed=1.0)
+    assert all(len(r) == 4 for r in rows)
+
+
+def test_render_top_includes_endpoint_and_uptime():
+    table = render_top("127.0.0.1", 4567, _snapshot(), _snapshot(frames=5), 1.0)
+    assert "127.0.0.1:4567" in table
+    assert "uptime 42s" in table
+    assert "p99" in table
+
+
+def test_run_top_renders_count_frames(monkeypatch):
+    from repro.obs import top as top_mod
+
+    snaps = iter([_snapshot(), _snapshot(frames=3), _snapshot(frames=9)])
+    monkeypatch.setattr(
+        top_mod, "fetch_snapshot", lambda host, port, timeout=5.0: next(snaps)
+    )
+    monkeypatch.setattr(top_mod.time, "sleep", lambda s: None)
+    out = io.StringIO()
+    top_mod.run_top("127.0.0.1", 1, interval=0.0, count=2, out=out)
+    text = out.getvalue()
+    assert text.count("repro top --") == 2
+    assert "\x1b[2J" not in text  # no clear-screen on non-tty output

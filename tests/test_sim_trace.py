@@ -70,3 +70,105 @@ def test_multiple_subscribers_same_category():
     bus.subscribe("x", b.append)
     bus.publish(1.0, "x")
     assert len(a) == len(b) == 1
+
+
+# ----------------------------------------------------------------------
+# Edge paths: listener churn during publish, wants()/version caching
+# ----------------------------------------------------------------------
+def test_subscriber_can_unsubscribe_itself_during_publish():
+    bus = TraceBus()
+    got = []
+
+    def once(rec):
+        got.append(rec)
+        bus.unsubscribe("x", once)
+
+    bus.subscribe("x", once)
+    bus.publish(1.0, "x")
+    bus.publish(2.0, "x")
+    assert len(got) == 1
+
+
+def test_unsubscribe_during_publish_does_not_skip_later_subscribers():
+    bus = TraceBus()
+    got_a, got_b = [], []
+
+    def a(rec):
+        got_a.append(rec)
+        bus.unsubscribe("x", a)
+
+    bus.subscribe("x", a)
+    bus.subscribe("x", got_b.append)
+    # ``a`` removes itself mid-publish; with naive list iteration the
+    # removal would shift ``b`` into the consumed slot and drop it.
+    bus.publish(1.0, "x")
+    assert len(got_a) == 1
+    assert len(got_b) == 1
+
+
+def test_wildcard_unsubscribe_during_publish_is_safe():
+    bus = TraceBus()
+    got = []
+
+    def once(rec):
+        got.append(rec)
+        bus.unsubscribe("*", once)
+
+    bus.subscribe("*", once)
+    bus.subscribe("*", got.append)
+    bus.publish(1.0, "anything")
+    assert len(got) == 2  # both saw the record that triggered removal
+
+
+def test_active_false_after_last_subscriber_leaves():
+    bus = TraceBus()
+    fn = lambda rec: None
+    bus.subscribe("x", fn)
+    assert bus.active and bus.wants("x")
+    bus.unsubscribe("x", fn)
+    assert not bus.active
+    assert not bus.wants("x")
+    bus.publish(1.0, "x")
+    assert bus.emitted == 0  # back on the no-listener fast path
+
+
+def test_version_bumps_on_every_listener_change():
+    bus = TraceBus()
+    fn = lambda rec: None
+    v0 = bus.version
+    bus.subscribe("x", fn)
+    v1 = bus.version
+    bus.unsubscribe("x", fn)
+    v2 = bus.version
+    bus.start_recording()
+    v3 = bus.version
+    bus.stop_recording()
+    v4 = bus.version
+    assert v0 < v1 < v2 < v3 < v4
+
+
+def test_wants_is_per_category_but_recording_is_conservative():
+    bus = TraceBus()
+    bus.subscribe("a", lambda rec: None)
+    assert bus.wants("a")
+    assert not bus.wants("b")
+    # A category-filtered recording still makes every category wanted:
+    # wants() answers "could publishing cost anything", and the filter
+    # is applied inside publish, not at the wants() gate.
+    bus.start_recording(categories=["a"])
+    assert bus.wants("b")
+    bus.stop_recording()
+    assert not bus.wants("b")
+
+
+def test_filtered_recording_with_live_subscribers():
+    bus = TraceBus()
+    got = []
+    bus.subscribe("drop", got.append)
+    bus.start_recording(categories=["keep"])
+    bus.publish(1.0, "keep")
+    bus.publish(2.0, "drop")
+    # The buffer honours the filter; the subscriber still gets its
+    # category even though the recorder ignores it.
+    assert [r.category for r in bus.stop_recording()] == ["keep"]
+    assert [r.category for r in got] == ["drop"]
