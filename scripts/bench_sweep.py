@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Benchmark the parallel sweep executor + cell cache (BENCH_sweep.json).
+
+Runs the medium-scale fig5 + fig6 + table2 bundle three ways:
+
+* ``serial_cold``   -- jobs=1, no cache (the pre-PR execution model);
+* ``parallel_cold`` -- jobs=N (default 4) into a fresh temp cache;
+* ``warm``          -- jobs=1 replaying the now-populated cache.
+
+Each pass digests the concatenated rendered tables; the digests must
+match across all three passes (the executor may change *when* cells
+run, never *what* they produce) or the script exits non-zero.
+
+Usage:  python scripts/bench_sweep.py [--jobs N] [--scale quick|medium]
+                                      [--smoke] [--out BENCH_sweep.json]
+
+``--smoke`` switches to quick scale and skips the JSON write -- used to
+sanity-check the harness itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.exec import CellCache, CellExecutor  # noqa: E402
+from repro.experiments import Scale  # noqa: E402
+from repro.experiments import fig5_failure, fig6_latency, table2_connum  # noqa: E402
+
+
+def timed_pass(scale: Scale, jobs: int, cache: CellCache | None):
+    """One bundle run; returns (wall_seconds, output_digest, stats)."""
+    executor = CellExecutor(jobs=jobs, cache=cache)
+    t0 = time.perf_counter()
+    text = "\n".join(
+        driver.main(scale, executor=executor)
+        for driver in (fig5_failure, fig6_latency, table2_connum)
+    )
+    wall = time.perf_counter() - t0
+    return wall, hashlib.sha256(text.encode()).hexdigest(), executor.stats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--scale", choices=["quick", "medium"], default="medium")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick scale, no JSON write")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_sweep.json"))
+    args = parser.parse_args()
+    scale_name = "quick" if args.smoke else args.scale
+    scale = {"quick": Scale.quick, "medium": Scale.medium}[scale_name]()
+
+    print(f"[bench] fig5+fig6+table2 bundle at scale={scale_name}, "
+          f"jobs={args.jobs}, cpus={os.cpu_count()}", file=sys.stderr)
+
+    serial_wall, serial_digest, serial_stats = timed_pass(scale, 1, None)
+    print(f"[bench] serial_cold: {serial_wall:.1f}s "
+          f"({serial_stats.executed} cells)", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        parallel_wall, parallel_digest, parallel_stats = timed_pass(
+            scale, args.jobs, CellCache(pathlib.Path(tmp))
+        )
+        print(f"[bench] parallel_cold (jobs={args.jobs}): "
+              f"{parallel_wall:.1f}s", file=sys.stderr)
+        warm_wall, warm_digest, warm_stats = timed_pass(
+            scale, 1, CellCache(pathlib.Path(tmp))
+        )
+        print(f"[bench] warm: {warm_wall:.2f}s "
+              f"({warm_stats.cache_hits} hits)", file=sys.stderr)
+
+    if not (serial_digest == parallel_digest == warm_digest):
+        print("[bench] FAIL: rendered outputs diverge across passes",
+              file=sys.stderr)
+        return 1
+    if warm_stats.executed != 0:
+        print("[bench] FAIL: warm pass was not 100% cache hits",
+              file=sys.stderr)
+        return 1
+
+    report = {
+        "bench": "sweep executor, fig5+fig6+table2 bundle",
+        "scale": scale_name,
+        "cells": serial_stats.cells_total,
+        "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
+        "output_digest": serial_digest,
+        "serial_cold": {
+            "wall_seconds": round(serial_wall, 2),
+            "executed": serial_stats.executed,
+        },
+        "parallel_cold": {
+            "wall_seconds": round(parallel_wall, 2),
+            "executed": parallel_stats.executed,
+            "cache_hits": parallel_stats.cache_hits,
+        },
+        "warm": {
+            "wall_seconds": round(warm_wall, 3),
+            "cache_hits": warm_stats.cache_hits,
+        },
+        "speedup_parallel_vs_serial": round(serial_wall / parallel_wall, 2),
+        "warm_fraction_of_serial": round(warm_wall / serial_wall, 4),
+    }
+    print(json.dumps(report, indent=2))
+    if not args.smoke:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[bench] wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,19 +2,28 @@
 """Run every reproduction experiment and save the tables.
 
 Usage:  python scripts/run_experiments.py [quick|medium|paper] [outdir]
+                                          [--jobs N] [--no-cache]
 
 ``medium`` (default) takes minutes on a laptop; ``paper`` matches the
 paper's 1,000-peer scale and takes correspondingly longer.  Outputs are
 written to <outdir>/<experiment>.txt and echoed to stdout; EXPERIMENTS.md
 quotes these files.
+
+Cells fan out over ``--jobs`` worker processes (default: ``REPRO_JOBS``
+or all cores) and are memoized in the content-addressed cell cache
+(``~/.cache/repro-cells`` or ``$REPRO_CELL_CACHE``; ``--no-cache``
+recomputes).  One executor spans the whole bundle, so cells shared
+between experiments (Fig. 5a and Table 2 overlap on 18) run once.
 """
 
 from __future__ import annotations
 
+import argparse
 import pathlib
 import sys
 import time
 
+from repro.exec import CellCache, CellExecutor
 from repro.experiments import (
     Scale,
     fig3_analysis,
@@ -26,27 +35,46 @@ from repro.experiments import (
 
 
 def main() -> None:
-    scale_name = sys.argv[1] if len(sys.argv) > 1 else "medium"
-    outdir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "results")
-    outdir.mkdir(exist_ok=True)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "scale", nargs="?", default="medium", choices=["quick", "medium", "paper"]
+    )
+    parser.add_argument("outdir", nargs="?", default="results", type=pathlib.Path)
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: REPRO_JOBS or all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell instead of consulting the cell cache",
+    )
+    args = parser.parse_args()
+
+    args.outdir.mkdir(parents=True, exist_ok=True)
     scale = {"quick": Scale.quick, "medium": Scale.medium, "paper": Scale.paper}[
-        scale_name
+        args.scale
     ]()
+    executor = CellExecutor(
+        jobs=args.jobs,
+        cache=None if args.no_cache else CellCache(),
+        progress=sys.stderr.isatty(),
+    )
     jobs = [
         ("fig3", lambda: fig3_analysis.main(points=11)),
-        ("fig4", lambda: fig4_distribution.main(scale)),
-        ("fig5", lambda: fig5_failure.main(scale)),
-        ("fig6", lambda: fig6_latency.main(scale)),
-        ("table2", lambda: table2_connum.main(scale)),
+        ("fig4", lambda: fig4_distribution.main(scale, executor=executor)),
+        ("fig5", lambda: fig5_failure.main(scale, executor=executor)),
+        ("fig6", lambda: fig6_latency.main(scale, executor=executor)),
+        ("table2", lambda: table2_connum.main(scale, executor=executor)),
     ]
     for name, job in jobs:
         t0 = time.time()
         text = job()
         elapsed = time.time() - t0
-        stamped = f"{text}\n\n[scale={scale_name}, {elapsed:.1f}s]"
-        (outdir / f"{name}.txt").write_text(stamped + "\n")
+        stamped = f"{text}\n\n[scale={args.scale}, {elapsed:.1f}s]"
+        (args.outdir / f"{name}.txt").write_text(stamped + "\n")
         print(stamped)
         print("=" * 70, flush=True)
+    print(f"[sweep] bundle: {executor.summary()}", file=sys.stderr)
 
 
 if __name__ == "__main__":

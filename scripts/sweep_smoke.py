@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""CI smoke test for the sweep executor + cell cache.
+
+Runs ``repro experiment fig5 --scale quick --jobs 2`` twice against a
+fresh temp cache and asserts:
+
+* run 1 executes every cell (no hits against an empty cache);
+* run 2 is 100% cache hits and executes nothing;
+* run 2 finishes in a fraction of run 1's wall-clock;
+* both runs print byte-identical tables.
+
+Exits non-zero with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SUMMARY = re.compile(r"(\d+) cells: (\d+) cache hits, (\d+) executed")
+
+
+def run_once(cache_dir: str):
+    env = dict(os.environ)
+    env["REPRO_CELL_CACHE"] = cache_dir
+    env["PYTHONPATH"] = str(REPO / "src")
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "experiment", "fig5",
+         "--scale", "quick", "--jobs", "2"],
+        capture_output=True, text=True, env=env, cwd=REPO,
+    )
+    wall = time.perf_counter() - t0
+    if proc.returncode != 0:
+        sys.exit(f"[smoke] run failed (rc={proc.returncode}):\n{proc.stderr}")
+    match = SUMMARY.search(proc.stderr)
+    if not match:
+        sys.exit(f"[smoke] no executor summary on stderr:\n{proc.stderr}")
+    cells, hits, executed = map(int, match.groups())
+    return proc.stdout, cells, hits, executed, wall
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-cache-") as tmp:
+        out1, cells1, hits1, executed1, wall1 = run_once(tmp)
+        print(f"[smoke] cold: {cells1} cells, {hits1} hits, "
+              f"{executed1} executed, {wall1:.1f}s")
+        out2, cells2, hits2, executed2, wall2 = run_once(tmp)
+        print(f"[smoke] warm: {cells2} cells, {hits2} hits, "
+              f"{executed2} executed, {wall2:.1f}s")
+
+    failures = []
+    if hits1 != 0 or executed1 != cells1:
+        failures.append("cold run should execute every cell with zero hits")
+    if hits2 != cells2 or executed2 != 0:
+        failures.append("warm run should be 100% cache hits")
+    if wall2 >= 0.5 * wall1:
+        failures.append(
+            f"warm run not fast enough: {wall2:.1f}s vs cold {wall1:.1f}s"
+        )
+    if out1 != out2:
+        failures.append("cold and warm runs printed different tables")
+    for failure in failures:
+        print(f"[smoke] FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("[smoke] OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,12 @@
   (fig3, fig4, fig5, fig6, table2, maintenance) at a chosen scale;
 * ``repro sweep`` -- sweep p_s over a grid and print the metric trio
   (latency / failure ratio / connum) per point;
+
+``experiment`` and ``sweep`` fan their cells out over worker processes
+(``--jobs``, default ``REPRO_JOBS`` or all cores) and memoize results
+in the content-addressed cell cache (``~/.cache/repro-cells/`` or
+``$REPRO_CELL_CACHE``; ``--no-cache`` disables) -- see
+:mod:`repro.exec` and EXPERIMENTS.md "Running paper scale fast";
 * ``repro analyze`` -- print the Section 4 closed-form tables.
 
 Live-runtime verbs (real TCP; see :mod:`repro.runtime`):
@@ -78,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--scale", choices=["quick", "medium", "paper"], default="quick")
     exp.add_argument("--seed", type=int, default=0)
+    _add_executor_args(exp)
 
     sweep = sub.add_parser("sweep", help="sweep p_s and print the metric trio")
     sweep.add_argument("--peers", type=int, default=120)
@@ -91,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=[0.0, 0.2, 0.4, 0.6, 0.8, 0.9],
     )
+    _add_executor_args(sweep)
 
     analyze = sub.add_parser("analyze", help="print the Section 4 closed forms")
     analyze.add_argument("--peers", type=int, default=1000)
@@ -141,6 +149,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep cells (default: REPRO_JOBS or all "
+        "cores; 1 = inline, no subprocesses)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of using the on-disk cell cache "
+        "(~/.cache/repro-cells or $REPRO_CELL_CACHE)",
+    )
+
+
+def _make_executor(args: argparse.Namespace):
+    from .exec import CellCache, CellExecutor
+
+    return CellExecutor(
+        jobs=args.jobs,
+        cache=None if args.no_cache else CellCache(),
+        progress=sys.stderr.isatty(),
+    )
+
+
+def _report_executor(name: str, executor) -> None:
+    """Summary line on stderr (parsed by scripts/sweep_smoke.py)."""
+    if executor.stats.cells_total:
+        print(f"[sweep] {name}: {executor.summary()}", file=sys.stderr)
+
+
 def _parse_endpoint(text: str) -> Tuple[str, int]:
     host, sep, port = text.rpartition(":")
     if not sep or not port.isdigit():
@@ -189,6 +230,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     scale = {"quick": Scale.quick, "medium": Scale.medium, "paper": Scale.paper}[
         args.scale
     ](seed=args.seed)
+    executor = _make_executor(args)
     if args.name == "fig3":
         from .experiments import fig3_analysis
 
@@ -196,61 +238,72 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.name == "fig4":
         from .experiments import fig4_distribution
 
-        print(fig4_distribution.main(scale))
+        print(fig4_distribution.main(scale, executor=executor))
     elif args.name == "fig5":
         from .experiments import fig5_failure
 
-        print(fig5_failure.main(scale))
+        print(fig5_failure.main(scale, executor=executor))
     elif args.name == "fig6":
         from .experiments import fig6_latency
 
-        print(fig6_latency.main(scale))
+        print(fig6_latency.main(scale, executor=executor))
     elif args.name == "table2":
         from .experiments import table2_connum
 
-        print(table2_connum.main(scale))
+        print(table2_connum.main(scale, executor=executor))
     elif args.name == "maintenance":
         from .experiments import ext_maintenance
 
-        print(ext_maintenance.main(n_peers=scale.n_peers))
+        print(ext_maintenance.main(n_peers=scale.n_peers, executor=executor))
     elif args.name == "comparison":
         from .experiments import ext_comparison
 
-        print(ext_comparison.main(n_peers=scale.n_peers, seed=args.seed))
+        print(
+            ext_comparison.main(
+                n_peers=scale.n_peers, seed=args.seed, executor=executor
+            )
+        )
     elif args.name == "stress":
         from .experiments import ext_stress
 
-        print(ext_stress.main(n_peers=scale.n_peers))
+        print(ext_stress.main(n_peers=scale.n_peers, executor=executor))
     elif args.name == "churn":
         from .experiments import ext_churn
 
-        print(ext_churn.main(n_peers=min(scale.n_peers, 100)))
+        print(ext_churn.main(n_peers=min(scale.n_peers, 100), executor=executor))
     else:
         from .experiments import ext_replication
 
-        print(ext_replication.main(n_peers=min(scale.n_peers, 120)))
+        print(
+            ext_replication.main(n_peers=min(scale.n_peers, 120), executor=executor)
+        )
+    _report_executor(args.name, executor)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    rows = []
-    for p_s in args.grid:
-        config = HybridConfig(p_s=p_s, ttl=args.ttl)
-        system = HybridSystem(config, n_peers=args.peers, seed=args.seed)
-        system.build()
-        peers = [p.address for p in system.alive_peers()]
-        workload = KeyWorkload.uniform(args.keys, peers, system.rngs.stream("cli"))
-        system.populate(workload.store_plan())
-        system.run_lookups(workload.sample_lookups(args.lookups, peers))
-        stats = system.query_stats()
-        rows.append(
-            [
-                f"{p_s:.1f}",
-                f"{stats.mean_latency:.0f}",
-                f"{stats.failure_ratio:.3f}",
-                stats.connum,
-            ]
-        )
+    from .exec import CellSpec
+
+    executor = _make_executor(args)
+    scale = Scale(
+        n_peers=args.peers,
+        n_keys=args.keys,
+        n_lookups=args.lookups,
+        seed=args.seed,
+    )
+    specs = [
+        CellSpec(HybridConfig(p_s=p_s, ttl=args.ttl), scale, tag="sweep")
+        for p_s in args.grid
+    ]
+    rows = [
+        [
+            f"{cell.p_s:.1f}",
+            f"{cell.mean_latency:.0f}",
+            f"{cell.failure_ratio:.3f}",
+            cell.connum,
+        ]
+        for cell in executor.map(specs)
+    ]
     print(
         format_table(
             ["p_s", "latency (ms)", "failure", "connum"],
@@ -258,6 +311,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"p_s sweep (N={args.peers}, TTL={args.ttl})",
         )
     )
+    _report_executor("sweep", executor)
     return 0
 
 

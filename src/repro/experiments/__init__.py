@@ -7,9 +7,14 @@
   the heterogeneity/topology-awareness enhancements);
 * :mod:`~repro.experiments.table2_connum` -- Table 2 (connum grid).
 
-Shared sweep machinery lives in :mod:`~repro.experiments.common`; the
-benchmark suite under ``benchmarks/`` calls these drivers with
-``Scale.quick()``, while EXPERIMENTS.md records the larger runs.
+Shared sweep machinery lives in :mod:`~repro.experiments.common`; every
+driver declares its cells up front and maps them through a
+:class:`~repro.exec.CellExecutor` (``executor=`` parameter; pass one
+configured with ``jobs > 1`` and a :class:`~repro.exec.CellCache` to
+fan the grid out over worker processes with on-disk memoization -- see
+EXPERIMENTS.md, "Running paper scale fast").  The benchmark suite under
+``benchmarks/`` calls these drivers with ``Scale.quick()``, while
+EXPERIMENTS.md records the larger runs.
 """
 
 from .common import DEFAULT_PS_GRID, CellResult, Scale, run_cell

@@ -11,8 +11,8 @@ one cell of a sweep and returns the standard metric bundle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Optional, Sequence
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Optional, Sequence
 
 from ..core.config import HybridConfig
 from ..core.hybrid import HybridSystem
@@ -69,6 +69,27 @@ class CellResult:
     failures: int
     n_t_peers: int
     n_s_peers: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form; floats survive exactly (repr round-trip)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellResult":
+        """Inverse of :meth:`to_dict`; rejects missing/unknown keys.
+
+        Strictness is what lets the cell cache treat any schema drift
+        as a miss instead of resurrecting a result with silently
+        defaulted fields.
+        """
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown CellResult fields: {sorted(unknown)}")
+        missing = names - set(data)
+        if missing:
+            raise ValueError(f"missing CellResult fields: {sorted(missing)}")
+        return cls(**data)
 
 
 def run_cell(

@@ -19,6 +19,7 @@ from typing import Dict, Sequence
 
 from ..core.config import HybridConfig
 from ..core.hybrid import HybridSystem
+from ..exec import CellExecutor
 from ..metrics.report import format_table
 from ..workloads.churn import PoissonChurn, apply_churn
 from ..workloads.keys import KeyWorkload
@@ -45,6 +46,43 @@ class ChurnCell:
         return f"{self.mean_lifetime / 1000:.0f}s"
 
 
+def _churn_cell(args: tuple) -> ChurnCell:
+    """Run one churn intensity end to end."""
+    lifetime, n_peers, n_keys, n_lookups, churn_window, crash_probability, seed = args
+    config = HybridConfig(
+        p_s=0.7,
+        ttl=6,
+        heartbeats_enabled=True,
+        lookup_timeout=20_000.0,
+    )
+    system = HybridSystem(config, n_peers=n_peers, seed=seed)
+    system.build()
+    peers = [p.address for p in system.alive_peers()]
+    workload = KeyWorkload.uniform(n_keys, peers, system.rngs.stream("workload"))
+    system.populate(workload.store_plan())
+    churn = PoissonChurn(
+        join_rate=n_peers / (2.0 * lifetime),  # roughly steady population
+        mean_lifetime=lifetime,
+        crash_probability=crash_probability,
+    )
+    events = churn.generate(
+        churn_window, existing=peers, rng=system.rngs.stream("churn-schedule")
+    )
+    joins, leaves, crashes = apply_churn(system, events)
+    system.settle(30_000.0)  # let repairs finish before measuring
+    alive = [p.address for p in system.alive_peers()]
+    system.run_lookups(workload.sample_lookups(n_lookups, alive))
+    stats = system.query_stats()
+    return ChurnCell(
+        mean_lifetime=lifetime,
+        crash_probability=crash_probability,
+        joins=joins,
+        departures=leaves + crashes,
+        failure_ratio=stats.failure_ratio,
+        mean_latency=stats.mean_latency,
+    )
+
+
 def run(
     n_peers: int = 80,
     n_keys: int = 240,
@@ -53,47 +91,20 @@ def run(
     churn_window: float = 60_000.0,
     crash_probability: float = 0.5,
     seed: int = 0,
+    executor: CellExecutor | None = None,
 ) -> Dict[float, ChurnCell]:
     """One cell per churn intensity (mean peer lifetime)."""
-    cells: Dict[float, ChurnCell] = {}
-    for lifetime in lifetimes:
-        config = HybridConfig(
-            p_s=0.7,
-            ttl=6,
-            heartbeats_enabled=True,
-            lookup_timeout=20_000.0,
-        )
-        system = HybridSystem(config, n_peers=n_peers, seed=seed)
-        system.build()
-        peers = [p.address for p in system.alive_peers()]
-        workload = KeyWorkload.uniform(n_keys, peers, system.rngs.stream("workload"))
-        system.populate(workload.store_plan())
-        churn = PoissonChurn(
-            join_rate=n_peers / (2.0 * lifetime),  # roughly steady population
-            mean_lifetime=lifetime,
-            crash_probability=crash_probability,
-        )
-        events = churn.generate(
-            churn_window, existing=peers, rng=system.rngs.stream("churn-schedule")
-        )
-        joins, leaves, crashes = apply_churn(system, events)
-        system.settle(30_000.0)  # let repairs finish before measuring
-        alive = [p.address for p in system.alive_peers()]
-        system.run_lookups(workload.sample_lookups(n_lookups, alive))
-        stats = system.query_stats()
-        cells[lifetime] = ChurnCell(
-            mean_lifetime=lifetime,
-            crash_probability=crash_probability,
-            joins=joins,
-            departures=leaves + crashes,
-            failure_ratio=stats.failure_ratio,
-            mean_latency=stats.mean_latency,
-        )
-    return cells
+    executor = executor or CellExecutor.serial()
+    tasks = [
+        (lifetime, n_peers, n_keys, n_lookups, churn_window, crash_probability, seed)
+        for lifetime in lifetimes
+    ]
+    cells = executor.map_fn(_churn_cell, tasks, tag="churn")
+    return {lifetime: cell for lifetime, cell in zip(lifetimes, cells)}
 
 
-def main(n_peers: int = 80) -> str:
-    cells = run(n_peers=n_peers)
+def main(n_peers: int = 80, executor: CellExecutor | None = None) -> str:
+    cells = run(n_peers=n_peers, executor=executor)
     rows = [
         [
             cell.label,

@@ -29,6 +29,7 @@ from ..baselines.chord import ChordNetwork
 from ..baselines.gnutella import GnutellaNetwork
 from ..core.config import HybridConfig
 from ..core.hybrid import HybridSystem
+from ..exec import CellExecutor
 from ..metrics.report import format_table
 from ..net.routing import Router
 from ..net.topology import config_for_size, generate_transit_stub
@@ -171,6 +172,17 @@ def _score_hybrid(
     )
 
 
+def _score_one(task: tuple) -> SystemScore:
+    """Dispatch one architecture's scoring run (picklable work unit)."""
+    kind, args = task
+    scorer = {
+        "chord": _score_chord,
+        "gnutella": _score_gnutella,
+        "hybrid": _score_hybrid,
+    }[kind]
+    return scorer(*args)
+
+
 def run(
     n_peers: int = 100,
     n_keys: int = 300,
@@ -179,21 +191,24 @@ def run(
     seed: int = 0,
     ttl: int = 4,
     hybrid_ps: float = 0.7,
+    executor: CellExecutor | None = None,
 ) -> Dict[str, SystemScore]:
     """Score the three architectures on a common substrate/workload."""
+    executor = executor or CellExecutor.serial()
     topology, router = _common_substrate(n_peers, seed)
-    scores = [
-        _score_chord(n_peers, n_keys, n_lookups, churn, seed, router),
-        _score_gnutella(n_peers, n_keys, n_lookups, churn, seed, router, ttl),
-        _score_hybrid(
-            n_peers, n_keys, n_lookups, churn, seed, topology, hybrid_ps, ttl
-        ),
+    tasks = [
+        ("chord", (n_peers, n_keys, n_lookups, churn, seed, router)),
+        ("gnutella", (n_peers, n_keys, n_lookups, churn, seed, router, ttl)),
+        ("hybrid", (n_peers, n_keys, n_lookups, churn, seed, topology, hybrid_ps, ttl)),
     ]
+    scores = executor.map_fn(_score_one, tasks, tag="comparison")
     return {s.name: s for s in scores}
 
 
-def main(n_peers: int = 100, seed: int = 0) -> str:
-    scores = run(n_peers=n_peers, seed=seed)
+def main(
+    n_peers: int = 100, seed: int = 0, executor: CellExecutor | None = None
+) -> str:
+    scores = run(n_peers=n_peers, seed=seed, executor=executor)
     rows = [
         [
             s.name,

@@ -21,6 +21,7 @@ from typing import Dict, Sequence
 
 from ..core.config import HybridConfig
 from ..core.hybrid import HybridSystem
+from ..exec import CellExecutor
 from ..metrics.report import format_table
 
 __all__ = ["MaintenanceCell", "run", "main"]
@@ -43,50 +44,63 @@ class MaintenanceCell:
         return self.messages / total if total else 0.0
 
 
+def _maintenance_cell(args: tuple) -> MaintenanceCell:
+    """Drive churn_events alternating joins/leaves at one p_s."""
+    p_s, n_peers, churn_events, seed = args
+    system = HybridSystem(HybridConfig(p_s=p_s), n_peers=n_peers, seed=seed)
+    system.build()
+    system.engine.run()
+    rng = system.rngs.stream("maintenance")
+    before = system.transport.messages_sent
+    joins = leaves = 0
+    for i in range(churn_events):
+        if i % 2 == 0:
+            system.add_peer()
+            joins += 1
+        else:
+            alive = [p.address for p in system.alive_peers()]
+            victim = int(alive[int(rng.integers(0, len(alive)))])
+            system.leave_peers([victim])
+            leaves += 1
+        system.engine.run()
+    return MaintenanceCell(
+        p_s=p_s,
+        joins=joins,
+        leaves=leaves,
+        messages=system.transport.messages_sent - before,
+    )
+
+
 def run(
     n_peers: int = 100,
     churn_events: int = 40,
     ps_values: Sequence[float] = PS_GRID,
     seed: int = 0,
+    executor: CellExecutor | None = None,
 ) -> Dict[float, MaintenanceCell]:
     """Measure messages per membership event across p_s.
 
     Joins and leaves alternate; only control traffic flows (no data
     operations), so the transport's send counter isolates maintenance.
     """
-    cells: Dict[float, MaintenanceCell] = {}
-    for p_s in ps_values:
-        system = HybridSystem(HybridConfig(p_s=p_s), n_peers=n_peers, seed=seed)
-        system.build()
-        system.engine.run()
-        rng = system.rngs.stream("maintenance")
-        before = system.transport.messages_sent
-        joins = leaves = 0
-        for i in range(churn_events):
-            if i % 2 == 0:
-                system.add_peer()
-                joins += 1
-            else:
-                alive = [p.address for p in system.alive_peers()]
-                victim = int(alive[int(rng.integers(0, len(alive)))])
-                system.leave_peers([victim])
-                leaves += 1
-            system.engine.run()
-        cells[p_s] = MaintenanceCell(
-            p_s=p_s,
-            joins=joins,
-            leaves=leaves,
-            messages=system.transport.messages_sent - before,
-        )
-    return cells
+    executor = executor or CellExecutor.serial()
+    tasks = [(p_s, n_peers, churn_events, seed) for p_s in ps_values]
+    cells = executor.map_fn(_maintenance_cell, tasks, tag="maintenance")
+    return {p_s: cell for p_s, cell in zip(ps_values, cells)}
 
 
 def main(
     n_peers: int = 100,
     churn_events: int = 40,
     ps_values: Sequence[float] = PS_GRID,
+    executor: CellExecutor | None = None,
 ) -> str:
-    cells = run(n_peers=n_peers, churn_events=churn_events, ps_values=ps_values)
+    cells = run(
+        n_peers=n_peers,
+        churn_events=churn_events,
+        ps_values=ps_values,
+        executor=executor,
+    )
     rows = [
         [f"{ps:.1f}", cells[ps].messages, f"{cells[ps].per_event:.1f}"]
         for ps in ps_values

@@ -16,6 +16,7 @@ from typing import Dict, Sequence
 
 from ..core.config import HybridConfig
 from ..core.hybrid import HybridSystem
+from ..exec import CellExecutor
 from ..metrics.report import format_grid
 from ..workloads.keys import KeyWorkload
 
@@ -35,6 +36,34 @@ class ReplicationCell:
     stored_copies: int
 
 
+def _replication_cell(args: tuple) -> ReplicationCell:
+    """Measure one (replication factor, crash fraction) cell."""
+    factor, fraction, n_peers, n_keys, n_lookups, p_s, seed = args
+    config = HybridConfig(
+        p_s=p_s,
+        ttl=8,
+        heartbeats_enabled=True,
+        lookup_timeout=20_000.0,
+        replication_factor=factor,
+    )
+    system = HybridSystem(config, n_peers=n_peers, seed=seed)
+    system.build()
+    peers = [p.address for p in system.alive_peers()]
+    workload = KeyWorkload.uniform(n_keys, peers, system.rngs.stream("workload"))
+    system.populate(workload.store_plan())
+    copies = system.total_items()
+    system.crash_random_fraction(fraction)
+    system.settle(40_000.0)
+    alive = [p.address for p in system.alive_peers()]
+    system.run_lookups(workload.sample_lookups(n_lookups, alive))
+    return ReplicationCell(
+        factor=factor,
+        crash_fraction=fraction,
+        failure_ratio=system.query_stats().failure_ratio,
+        stored_copies=copies,
+    )
+
+
 def run(
     n_peers: int = 80,
     n_keys: int = 240,
@@ -43,40 +72,20 @@ def run(
     fractions: Sequence[float] = FRACTIONS,
     p_s: float = 0.7,
     seed: int = 0,
+    executor: CellExecutor | None = None,
 ) -> Dict[tuple, ReplicationCell]:
-    cells: Dict[tuple, ReplicationCell] = {}
-    for factor in factors:
-        for fraction in fractions:
-            config = HybridConfig(
-                p_s=p_s,
-                ttl=8,
-                heartbeats_enabled=True,
-                lookup_timeout=20_000.0,
-                replication_factor=factor,
-            )
-            system = HybridSystem(config, n_peers=n_peers, seed=seed)
-            system.build()
-            peers = [p.address for p in system.alive_peers()]
-            workload = KeyWorkload.uniform(
-                n_keys, peers, system.rngs.stream("workload")
-            )
-            system.populate(workload.store_plan())
-            copies = system.total_items()
-            system.crash_random_fraction(fraction)
-            system.settle(40_000.0)
-            alive = [p.address for p in system.alive_peers()]
-            system.run_lookups(workload.sample_lookups(n_lookups, alive))
-            cells[(factor, fraction)] = ReplicationCell(
-                factor=factor,
-                crash_fraction=fraction,
-                failure_ratio=system.query_stats().failure_ratio,
-                stored_copies=copies,
-            )
-    return cells
+    executor = executor or CellExecutor.serial()
+    keys = [(factor, fraction) for factor in factors for fraction in fractions]
+    tasks = [
+        (factor, fraction, n_peers, n_keys, n_lookups, p_s, seed)
+        for factor, fraction in keys
+    ]
+    cells = executor.map_fn(_replication_cell, tasks, tag="replication")
+    return {key: cell for key, cell in zip(keys, cells)}
 
 
-def main(n_peers: int = 80) -> str:
-    cells = run(n_peers=n_peers)
+def main(n_peers: int = 80, executor: CellExecutor | None = None) -> str:
+    cells = run(n_peers=n_peers, executor=executor)
     grid = {
         f"k={k}": {
             f"crash={f:.1f}": f"{cells[(k, f)].failure_ratio:.3f}"

@@ -19,6 +19,7 @@ from typing import Dict, Sequence
 
 from ..core.config import ASSIGN_BALANCED, ASSIGN_BINNED, HybridConfig
 from ..core.hybrid import HybridSystem
+from ..exec import CellExecutor
 from ..metrics.report import format_table
 from ..net.stress import StressSummary
 from ..workloads.keys import KeyWorkload
@@ -42,6 +43,30 @@ class StressCell:
         return self.summary.total_transmissions / max(1, self.lookups)
 
 
+def _stress_cell(args: tuple) -> StressCell:
+    """Run one (p_s, variant) workload with link-stress tracking on."""
+    p_s, variant, n_peers, n_keys, n_lookups, n_landmarks, seed = args
+    config = HybridConfig(
+        p_s=p_s,
+        assignment=ASSIGN_BINNED if variant == "binned" else ASSIGN_BALANCED,
+        n_landmarks=n_landmarks if variant == "binned" else 0,
+    )
+    system = HybridSystem(config, n_peers=n_peers, seed=seed, track_stress=True)
+    system.build()
+    peers = [p.address for p in system.alive_peers()]
+    workload = KeyWorkload.uniform(n_keys, peers, system.rngs.stream("workload"))
+    system.populate(workload.store_plan())
+    # Only lookup traffic counts toward the comparison.
+    system.stress.reset()
+    system.run_lookups(workload.sample_lookups(n_lookups, peers))
+    return StressCell(
+        p_s=p_s,
+        variant=variant,
+        summary=system.stress.summary(),
+        lookups=n_lookups,
+    )
+
+
 def run(
     n_peers: int = 100,
     n_keys: int = 300,
@@ -49,39 +74,25 @@ def run(
     ps_values: Sequence[float] = PS_GRID,
     n_landmarks: int = 8,
     seed: int = 0,
+    executor: CellExecutor | None = None,
 ) -> Dict[tuple, StressCell]:
     """Measure link stress for (p_s, variant) cells."""
-    cells: Dict[tuple, StressCell] = {}
-    for p_s in ps_values:
-        for variant in ("base", "binned"):
-            config = HybridConfig(
-                p_s=p_s,
-                assignment=ASSIGN_BINNED if variant == "binned" else ASSIGN_BALANCED,
-                n_landmarks=n_landmarks if variant == "binned" else 0,
-            )
-            system = HybridSystem(
-                config, n_peers=n_peers, seed=seed, track_stress=True
-            )
-            system.build()
-            peers = [p.address for p in system.alive_peers()]
-            workload = KeyWorkload.uniform(
-                n_keys, peers, system.rngs.stream("workload")
-            )
-            system.populate(workload.store_plan())
-            # Only lookup traffic counts toward the comparison.
-            system.stress.reset()
-            system.run_lookups(workload.sample_lookups(n_lookups, peers))
-            cells[(p_s, variant)] = StressCell(
-                p_s=p_s,
-                variant=variant,
-                summary=system.stress.summary(),
-                lookups=n_lookups,
-            )
-    return cells
+    executor = executor or CellExecutor.serial()
+    keys = [(p_s, variant) for p_s in ps_values for variant in ("base", "binned")]
+    tasks = [
+        (p_s, variant, n_peers, n_keys, n_lookups, n_landmarks, seed)
+        for p_s, variant in keys
+    ]
+    cells = executor.map_fn(_stress_cell, tasks, tag="stress")
+    return {key: cell for key, cell in zip(keys, cells)}
 
 
-def main(n_peers: int = 100, ps_values: Sequence[float] = PS_GRID) -> str:
-    cells = run(n_peers=n_peers, ps_values=ps_values)
+def main(
+    n_peers: int = 100,
+    ps_values: Sequence[float] = PS_GRID,
+    executor: CellExecutor | None = None,
+) -> str:
+    cells = run(n_peers=n_peers, ps_values=ps_values, executor=executor)
     rows = []
     for p_s in ps_values:
         for variant in ("base", "binned"):

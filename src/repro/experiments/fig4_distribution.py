@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core.config import PLACEMENT_DIRECT, PLACEMENT_SPREAD, HybridConfig
 from ..core.hybrid import HybridSystem
+from ..exec import CellExecutor
 from ..metrics.distributions import DistributionSummary, items_pdf, summarize_distribution
 from ..metrics.report import format_table
 from ..workloads.keys import KeyWorkload
@@ -42,45 +43,65 @@ class Fig4Cell:
     summary: DistributionSummary
 
 
+@dataclass(frozen=True)
+class _PanelSpec:
+    """Work unit of one panel (picklable across the process pool)."""
+
+    placement: str
+    p_s: float
+    scale: Scale
+    delta: int
+    items_per_peer: int
+
+
+def _panel_cell(spec: _PanelSpec) -> Fig4Cell:
+    """Build one system, insert the workload, measure the distribution."""
+    config = HybridConfig(p_s=spec.p_s, delta=spec.delta, placement=spec.placement)
+    system = HybridSystem(config, n_peers=spec.scale.n_peers, seed=spec.scale.seed)
+    system.build()
+    addresses = [p.address for p in system.alive_peers()]
+    workload = KeyWorkload.uniform(
+        spec.items_per_peer * spec.scale.n_peers,
+        addresses,
+        system.rngs.stream("workload"),
+    )
+    system.populate(workload.store_plan())
+    counts = system.data_distribution()
+    return Fig4Cell(
+        placement=spec.placement,
+        p_s=spec.p_s,
+        counts=counts,
+        pdf=items_pdf(counts),
+        summary=summarize_distribution(counts),
+    )
+
+
 def run(
     scale: Scale,
     ps_values: Sequence[float] = PS_VALUES,
     delta: int = 3,
     items_per_peer: int = 20,
+    executor: CellExecutor | None = None,
 ) -> Dict[Tuple[str, float], Fig4Cell]:
-    """Build one system per (scheme, p_s) cell and measure placement.
+    """Measure one (scheme, p_s) placement panel per cell.
 
     ``items_per_peer`` matches the paper's density (Fig. 4a shows
     counts up to ~80 for 1,000 peers).
     """
-    cells: Dict[Tuple[str, float], Fig4Cell] = {}
-    for placement in SCHEMES:
-        for p_s in ps_values:
-            config = HybridConfig(p_s=p_s, delta=delta, placement=placement)
-            system = HybridSystem(config, n_peers=scale.n_peers, seed=scale.seed)
-            system.build()
-            addresses = [p.address for p in system.alive_peers()]
-            workload = KeyWorkload.uniform(
-                items_per_peer * scale.n_peers,
-                addresses,
-                system.rngs.stream("workload"),
-            )
-            system.populate(workload.store_plan())
-            counts = system.data_distribution()
-            cells[(placement, p_s)] = Fig4Cell(
-                placement=placement,
-                p_s=p_s,
-                counts=counts,
-                pdf=items_pdf(counts),
-                summary=summarize_distribution(counts),
-            )
-    return cells
+    executor = executor or CellExecutor.serial()
+    specs = [
+        _PanelSpec(placement, p_s, scale, delta, items_per_peer)
+        for placement in SCHEMES
+        for p_s in ps_values
+    ]
+    panels = executor.map_fn(_panel_cell, specs, tag="fig4")
+    return {(s.placement, s.p_s): cell for s, cell in zip(specs, panels)}
 
 
-def main(scale: Scale | None = None) -> str:
+def main(scale: Scale | None = None, executor: CellExecutor | None = None) -> str:
     """Render the six panels' summary statistics as a table."""
     scale = scale or Scale.quick()
-    cells = run(scale)
+    cells = run(scale, executor=executor)
     rows = []
     for (placement, p_s), cell in sorted(cells.items()):
         s = cell.summary

@@ -17,8 +17,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..core.config import HybridConfig
+from ..exec import CellExecutor, CellSpec
 from ..metrics.report import format_grid
-from .common import CellResult, Scale, run_cell
+from .common import CellResult, Scale
 
 __all__ = ["Fig5aResult", "Fig5bResult", "run_5a", "run_5b", "main"]
 
@@ -53,14 +54,18 @@ def run_5a(
     ttls: Sequence[int] = TTLS,
     ps_values: Sequence[float] = PS_GRID_5A,
     delta: int = 3,
+    executor: CellExecutor | None = None,
 ) -> Fig5aResult:
     """Sweep (TTL, p_s); data placed with scheme 2, no churn."""
+    executor = executor or CellExecutor.serial()
+    keys = [(ttl, p_s) for ttl in ttls for p_s in ps_values]
+    specs = [
+        CellSpec(HybridConfig(p_s=p_s, delta=delta, ttl=ttl), scale, tag="fig5a")
+        for ttl, p_s in keys
+    ]
     cells: Dict[int, Dict[float, CellResult]] = {}
-    for ttl in ttls:
-        cells[ttl] = {}
-        for p_s in ps_values:
-            config = HybridConfig(p_s=p_s, delta=delta, ttl=ttl)
-            cells[ttl][p_s] = run_cell(config, scale)
+    for (ttl, p_s), cell in zip(keys, executor.map(specs)):
+        cells.setdefault(ttl, {})[p_s] = cell
     return Fig5aResult(cells=cells)
 
 
@@ -70,27 +75,36 @@ def run_5b(
     ps_values: Sequence[float] = PS_GRID_5B,
     delta: int = 3,
     ttl: int = 4,
+    executor: CellExecutor | None = None,
 ) -> Fig5bResult:
     """Sweep (p_s, crash fraction) with heartbeats + repair enabled."""
-    cells: Dict[float, Dict[float, CellResult]] = {}
-    for p_s in ps_values:
-        cells[p_s] = {}
-        for fraction in fractions:
-            config = HybridConfig(
+    executor = executor or CellExecutor.serial()
+    keys = [(p_s, fraction) for p_s in ps_values for fraction in fractions]
+    specs = [
+        CellSpec(
+            HybridConfig(
                 p_s=p_s,
                 delta=delta,
                 ttl=ttl,
                 heartbeats_enabled=True,
                 lookup_timeout=30_000.0,
-            )
-            cells[p_s][fraction] = run_cell(config, scale, crash_fraction=fraction)
+            ),
+            scale,
+            crash_fraction=fraction,
+            tag="fig5b",
+        )
+        for p_s, fraction in keys
+    ]
+    cells: Dict[float, Dict[float, CellResult]] = {}
+    for (p_s, fraction), cell in zip(keys, executor.map(specs)):
+        cells.setdefault(p_s, {})[fraction] = cell
     return Fig5bResult(cells=cells)
 
 
-def main(scale: Scale | None = None) -> str:
+def main(scale: Scale | None = None, executor: CellExecutor | None = None) -> str:
     scale = scale or Scale.quick()
-    a = run_5a(scale)
-    b = run_5b(scale)
+    a = run_5a(scale, executor=executor)
+    b = run_5b(scale, executor=executor)
     grid_a = {
         f"{ps:.1f}": {ttl: f"{a.failure(ttl, ps):.3f}" for ttl in TTLS}
         for ps in PS_GRID_5A

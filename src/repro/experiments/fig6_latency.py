@@ -19,8 +19,9 @@ from dataclasses import dataclass
 from typing import Dict, Sequence
 
 from ..core.config import ASSIGN_BALANCED, ASSIGN_BINNED, HybridConfig
+from ..exec import CellExecutor, CellSpec
 from ..metrics.report import format_series
-from .common import CellResult, Scale, run_cell
+from .common import CellResult, Scale
 
 __all__ = ["Fig6aResult", "Fig6bResult", "run_6a", "run_6b", "main"]
 
@@ -53,16 +54,25 @@ def run_6a(
     ps_values: Sequence[float] = PS_GRID,
     delta: int = 3,
     ttl: int = 4,
+    executor: CellExecutor | None = None,
 ) -> Fig6aResult:
     """With/without heterogeneity-aware role assignment + connect points."""
-    cells: Dict[str, Dict[float, CellResult]] = {"base": {}, "hetero": {}}
+    executor = executor or CellExecutor.serial()
+    keys = []
+    specs = []
     for p_s in ps_values:
         base = HybridConfig(p_s=p_s, delta=delta, ttl=ttl)
         hetero = base.with_changes(
             heterogeneity_aware=True, connect_policy="link_usage"
         )
-        cells["base"][p_s] = run_cell(base, scale)
-        cells["hetero"][p_s] = run_cell(hetero, scale)
+        keys += [("base", p_s), ("hetero", p_s)]
+        specs += [
+            CellSpec(base, scale, tag="fig6a"),
+            CellSpec(hetero, scale, tag="fig6a"),
+        ]
+    cells: Dict[str, Dict[float, CellResult]] = {"base": {}, "hetero": {}}
+    for (variant, p_s), cell in zip(keys, executor.map(specs)):
+        cells[variant][p_s] = cell
     return Fig6aResult(cells=cells)
 
 
@@ -72,24 +82,32 @@ def run_6b(
     landmark_counts: Sequence[int] = LANDMARK_COUNTS,
     delta: int = 3,
     ttl: int = 4,
+    executor: CellExecutor | None = None,
 ) -> Fig6bResult:
     """Basic vs landmark-binned s-network assignment."""
+    executor = executor or CellExecutor.serial()
+    keys = []
+    specs = []
+    for p_s in ps_values:
+        base = HybridConfig(p_s=p_s, delta=delta, ttl=ttl, assignment=ASSIGN_BALANCED)
+        keys.append(("base", p_s))
+        specs.append(CellSpec(base, scale, tag="fig6b"))
+        for n in landmark_counts:
+            binned = base.with_changes(assignment=ASSIGN_BINNED, n_landmarks=n)
+            keys.append((f"bin{n}", p_s))
+            specs.append(CellSpec(binned, scale, tag="fig6b"))
     cells: Dict[str, Dict[float, CellResult]] = {"base": {}}
     for n in landmark_counts:
         cells[f"bin{n}"] = {}
-    for p_s in ps_values:
-        base = HybridConfig(p_s=p_s, delta=delta, ttl=ttl, assignment=ASSIGN_BALANCED)
-        cells["base"][p_s] = run_cell(base, scale)
-        for n in landmark_counts:
-            binned = base.with_changes(assignment=ASSIGN_BINNED, n_landmarks=n)
-            cells[f"bin{n}"][p_s] = run_cell(binned, scale)
+    for (variant, p_s), cell in zip(keys, executor.map(specs)):
+        cells[variant][p_s] = cell
     return Fig6bResult(cells=cells)
 
 
-def main(scale: Scale | None = None) -> str:
+def main(scale: Scale | None = None, executor: CellExecutor | None = None) -> str:
     scale = scale or Scale.quick()
-    a = run_6a(scale)
-    b = run_6b(scale)
+    a = run_6a(scale, executor=executor)
+    b = run_6b(scale, executor=executor)
     xs = [f"{ps:.1f}" for ps in PS_GRID]
     parts = [
         format_series(

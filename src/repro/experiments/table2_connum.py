@@ -21,8 +21,9 @@ from dataclasses import dataclass
 from typing import Dict, Sequence
 
 from ..core.config import HybridConfig
+from ..exec import CellExecutor, CellSpec
 from ..metrics.report import format_grid
-from .common import CellResult, Scale, run_cell
+from .common import CellResult, Scale
 
 __all__ = ["Table2Result", "run", "main"]
 
@@ -45,20 +46,32 @@ def run(
     ps_values: Sequence[float] = PS_GRID,
     ttls: Sequence[int] = TTLS,
     delta: int = 3,
+    executor: CellExecutor | None = None,
 ) -> Table2Result:
     """Sweep (p_s, TTL) with linear ring forwarding (the paper's mode)."""
+    executor = executor or CellExecutor.serial()
+    keys = [(p_s, ttl) for p_s in ps_values for ttl in ttls]
+    specs = [
+        CellSpec(
+            HybridConfig(p_s=p_s, delta=delta, ttl=ttl, ring_routing="linear"),
+            scale,
+            tag="table2",
+        )
+        for p_s, ttl in keys
+    ]
     cells: Dict[float, Dict[int, CellResult]] = {}
-    for p_s in ps_values:
-        cells[p_s] = {}
-        for ttl in ttls:
-            config = HybridConfig(p_s=p_s, delta=delta, ttl=ttl, ring_routing="linear")
-            cells[p_s][ttl] = run_cell(config, scale)
+    for (p_s, ttl), cell in zip(keys, executor.map(specs)):
+        cells.setdefault(p_s, {})[ttl] = cell
     return Table2Result(cells=cells)
 
 
-def main(scale: Scale | None = None, ps_values: Sequence[float] = PS_GRID) -> str:
+def main(
+    scale: Scale | None = None,
+    ps_values: Sequence[float] = PS_GRID,
+    executor: CellExecutor | None = None,
+) -> str:
     scale = scale or Scale.quick()
-    result = run(scale, ps_values=ps_values)
+    result = run(scale, ps_values=ps_values, executor=executor)
     grid = {
         f"{ps:.1f}": {f"TTL={t}": result.connum(ps, t) for t in TTLS}
         for ps in ps_values

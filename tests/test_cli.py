@@ -26,6 +26,16 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "--grid", "0.1", "0.5"])
         assert args.grid == [0.1, 0.5]
 
+    def test_executor_flags_default_off(self):
+        args = build_parser().parse_args(["experiment", "fig5"])
+        assert args.jobs is None and args.no_cache is False
+
+    def test_executor_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "4", "--no-cache"]
+        )
+        assert args.jobs == 4 and args.no_cache is True
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -72,6 +82,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "maintenance" in out
+
+    def test_sweep_parallel_matches_serial(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_CACHE", str(tmp_path))
+        argv = [
+            "sweep", "--peers", "30", "--keys", "40", "--lookups", "40",
+            "--grid", "0.0", "0.8",
+        ]
+        assert main(argv + ["--jobs", "1", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(argv + ["--jobs", "1"]) == 0  # warm cache
+        cached = capsys.readouterr().out
+        assert serial == parallel == cached
 
     def test_deterministic_output(self, capsys):
         argv = ["demo", "--peers", "30", "--keys", "40", "--lookups", "40", "--seed", "9"]

@@ -1,0 +1,41 @@
+"""Satellite: sweeps are bit-identical at any parallelism/cache setting.
+
+The acceptance bar for the parallel executor is that it changes *when*
+cells run, never *what* they produce: the same declared sweep must
+yield the same ordered ``CellResult`` sequence whether cells run
+inline, fanned out over worker processes, or replayed from the
+content-addressed cache.
+"""
+
+from __future__ import annotations
+
+from repro.core import HybridConfig
+from repro.exec import CellCache, CellExecutor, CellSpec
+from repro.experiments import Scale
+
+TINY = Scale(n_peers=30, n_keys=60, n_lookups=60, seed=11)
+
+# A representative mix: plain cells across p_s, one non-default config
+# knob, and one crash cell (exercises the failure path end to end).
+SWEEP = [
+    CellSpec(HybridConfig(p_s=0.1), TINY),
+    CellSpec(HybridConfig(p_s=0.5), TINY),
+    CellSpec(HybridConfig(p_s=0.5, ttl=6), TINY),
+    CellSpec(HybridConfig(p_s=0.9), TINY),
+    CellSpec(HybridConfig(p_s=0.5), TINY, crash_fraction=0.3),
+]
+
+
+def test_jobs1_jobs4_and_warm_cache_are_bit_identical(tmp_path):
+    serial = CellExecutor(jobs=1).map(SWEEP)
+
+    pooled = CellExecutor(jobs=4, cache=CellCache(tmp_path)).map(SWEEP)
+
+    warm_executor = CellExecutor(jobs=1, cache=CellCache(tmp_path))
+    warm = warm_executor.map(SWEEP)
+
+    # Dataclass equality on floats is exact, so == means bit-identical.
+    assert pooled == serial
+    assert warm == serial
+    assert warm_executor.stats.cache_hits == len(SWEEP)
+    assert warm_executor.stats.executed == 0
