@@ -1,0 +1,467 @@
+#!/usr/bin/env python
+"""Live-runtime wire throughput bench: codec v1 vs v2 over real sockets.
+
+Three measurements, each run once per wire version:
+
+* **codec micro** -- encode+decode of the medium message mix, pure
+  in-process CPU: the ceiling the transport can approach.
+* **flood pump** (the headline) -- one source :class:`AioTransport`
+  broadcasting the mix via ``send_many`` to ``--sinks`` TCP sink
+  servers on localhost, each sink decoding every frame as a live node
+  would.  Frames/sec is counted at the decode side, so the number
+  reflects the full wire path: encode-once fan-out, write coalescing,
+  kernel round-trip, zero-copy decode.
+* **localnet put/get** -- client-verb ops/sec against a small
+  :class:`LocalNet`.  Reported for completeness; it is latency-bound
+  (lookup polling, protocol timers), not codec-bound, so both versions
+  score similarly.
+
+The medium mix is flood-weighted to match the paper's workload: the
+s-network answers lookups by flooding, so on the wire, query fan-out
+frames dominate store/result frames by an order of magnitude (see
+PAPER.md and the fanout histograms in a sim run).  Two mix entries
+(StoreRequest, DataFound) carry ``Any``-typed JSON payloads -- the
+codec's documented slow case -- so the headline is not a
+fixed-fields-only best case.
+
+Protocol: ``--repeats`` timed repeats per version per bench (default
+3), interleaved v1/v2 within the same process and time window; best
+(min wall) is the headline and the median is reported next to it.
+Results land in ``BENCH_runtime.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_runtime.py            # full, writes JSON
+    PYTHONPATH=src python scripts/bench_runtime.py --smoke    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.overlay.messages import (
+    DataFound,
+    FloodQuery,
+    Hello,
+    LookupRequest,
+    StoreRequest,
+    WalkQuery,
+)
+from repro.runtime import (
+    WIRE_V1,
+    WIRE_V2,
+    AioTransport,
+    ClientGet,
+    ClientPut,
+    LocalNet,
+    acall,
+    pack_endpoint,
+)
+from repro.runtime.aio_transport import frame_stream
+from repro.runtime.client import runtime_codec
+from repro.runtime.localnet import fast_config
+
+
+# ----------------------------------------------------------------------
+# The medium mix (weights = relative frame counts on the wire)
+# ----------------------------------------------------------------------
+def build_mix() -> List[object]:
+    origin = pack_endpoint("127.0.0.1", 9001)
+    mix: List[object] = []
+    for i in range(8):
+        mix.append(
+            FloodQuery(
+                d_id=3, key=f"doc/alpha-{i}", origin=origin, query_id=1000 + i,
+                ttl=4, attempt=1, span_id=987654321 + i,
+            )
+        )
+    for i in range(3):
+        mix.append(
+            LookupRequest(
+                d_id=5, key=f"doc/beta-{i}", origin=origin, query_id=2000 + i,
+                ttl=6, attempt=0, span_id=123450 + i,
+            )
+        )
+    for i in range(2):
+        mix.append(
+            WalkQuery(
+                d_id=7, key=f"doc/gamma-{i}", origin=origin, query_id=3000 + i,
+                ttl=3, span_id=54321 + i,
+            )
+        )
+    mix.append(Hello())
+    mix.append(
+        StoreRequest(
+            key="doc/alpha-0", value={"title": "Alpha", "tags": ["x", "y"]},
+            d_id=3, origin=origin,
+        )
+    )
+    mix.append(
+        DataFound(
+            query_id=1000, key="doc/alpha-0",
+            value={"title": "Alpha", "tags": ["x", "y"]},
+            holder=origin, holder_pid=7, holder_pred_pid=6, hops=5,
+        )
+    )
+    sender = pack_endpoint("127.0.0.1", 9000)
+    for m in mix:
+        m.sender = sender
+        m.hop_count = 2
+    return mix
+
+
+MIX_DESCRIPTION = (
+    "8x FloodQuery + 3x LookupRequest + 2x WalkQuery + 1x Hello "
+    "+ 1x StoreRequest + 1x DataFound (the two last carry JSON payloads)"
+)
+
+
+# ----------------------------------------------------------------------
+# Bench 1: codec micro (encode + decode, no sockets)
+# ----------------------------------------------------------------------
+def bench_codec_micro(version: int, rounds: int) -> Dict[str, float]:
+    codec = runtime_codec(version=version)
+    decoder = runtime_codec()  # accepts both, like every live daemon
+    mix = build_mix()
+    frames = [codec.frame(m) for m in mix]
+    payloads = [memoryview(f)[4:] for f in frames]
+    n_msgs = rounds * len(mix)
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for m in mix:
+            codec.frame(m)
+    t_enc = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for p in payloads:
+            decoder.decode(p)
+    t_dec = time.perf_counter() - t0
+
+    return {
+        "encode_msgs_per_s": n_msgs / t_enc,
+        "decode_msgs_per_s": n_msgs / t_dec,
+        "roundtrip_msgs_per_s": n_msgs / (t_enc + t_dec),
+        "avg_frame_bytes": sum(len(f) for f in frames) / len(frames),
+    }
+
+
+# ----------------------------------------------------------------------
+# Bench 2: flood pump (send_many fan-out over real TCP, decode at sinks)
+# ----------------------------------------------------------------------
+class _Origin:
+    address = pack_endpoint("127.0.0.1", 9000)
+    alive = True
+
+    def receive(self, msg) -> None:  # pragma: no cover - never local
+        pass
+
+
+async def _flood_pump(version: int, sinks: int, rounds: int) -> float:
+    """Broadcast ``rounds`` copies of the mix to ``sinks`` decoding TCP
+    servers; returns frames/sec counted at the decode side."""
+    decoder = runtime_codec()
+    mix = build_mix()
+    per_sink = rounds * len(mix)
+    counters = [0] * sinks
+    done = asyncio.Event()
+
+    def make_sink(idx: int):
+        async def sink(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            try:
+                async for payload in frame_stream(reader):
+                    decoder.decode(payload)
+                    counters[idx] += 1
+                    if counters[idx] >= per_sink and all(
+                        c >= per_sink for c in counters
+                    ):
+                        done.set()
+            finally:
+                writer.close()
+
+        return sink
+
+    servers = []
+    dests = []
+    for i in range(sinks):
+        server = await asyncio.start_server(make_sink(i), "127.0.0.1", 0)
+        servers.append(server)
+        dests.append(pack_endpoint("127.0.0.1", server.sockets[0].getsockname()[1]))
+
+    transport = AioTransport(
+        runtime_codec(version=version),
+        asyncio.get_running_loop(),
+        max_queue=1 << 20,  # measuring throughput, not shedding
+    )
+    origin = _Origin()
+    try:
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            for m in mix:
+                transport.send_many(origin, dests, m)
+            # Crude flow control: keep the producer from building a
+            # multi-hundred-MB backlog ahead of the writers.
+            if transport.tx_queue_depth() > 20_000:
+                while transport.tx_queue_depth() > 4_000:
+                    await asyncio.sleep(0)
+        await asyncio.wait_for(done.wait(), timeout=300)
+        wall = time.perf_counter() - t0
+    finally:
+        await transport.aclose()
+        for server in servers:
+            server.close()
+            await server.wait_closed()
+    return (per_sink * sinks) / wall
+
+
+# ----------------------------------------------------------------------
+# Bench 3: localnet put/get ops (latency-bound; reported, not headline)
+# ----------------------------------------------------------------------
+async def _localnet_ops(version: int, ops: int) -> Dict[str, float]:
+    net = LocalNet(
+        t_peers=2, s_peers=1, seed=5, config=fast_config(),
+        codec_version=version,
+    )
+    await net.start(join_timeout=30)
+    try:
+        await net.wait_converged(timeout=30)
+        node = net.nodes[0]
+        t0 = time.perf_counter()
+        for i in range(ops):
+            reply = await acall(
+                node.host, node.port,
+                ClientPut(key=f"bench/{i}", value=f"value-{i}"),
+            )
+            assert reply.ok, reply.error
+        put_wall = time.perf_counter() - t0
+        await asyncio.sleep(0.3)  # let spreads land before reading back
+        reader_node = net.nodes[-1]
+        t0 = time.perf_counter()
+        for i in range(ops):
+            reply = await acall(
+                reader_node.host, reader_node.port,
+                ClientGet(key=f"bench/{i}"), timeout=15,
+            )
+            assert reply.ok, reply.error
+        get_wall = time.perf_counter() - t0
+        return {
+            "put_ops_per_s": ops / put_wall,
+            "get_ops_per_s": ops / get_wall,
+        }
+    finally:
+        await net.stop()
+
+
+# ----------------------------------------------------------------------
+# Smoke: tiny localnet + /metrics scrape + v2 >= v1 pump gate (CI)
+# ----------------------------------------------------------------------
+async def _scrape_metrics(host: str, port: int) -> str:
+    """Async one-shot HTTP GET /metrics (the daemons share our loop, so
+    a blocking urllib call here would deadlock the scrape)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET /metrics HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=10)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+    return raw.split(b"\r\n\r\n", 1)[-1].decode("utf-8")
+
+
+async def _smoke() -> int:
+    print("smoke 1/3: tiny localnet, put/get, /metrics scrape ...")
+    net = LocalNet(t_peers=2, s_peers=1, seed=3, config=fast_config())
+    await net.start(join_timeout=30)
+    try:
+        await net.wait_converged(timeout=30)
+        node = net.nodes[0]
+        reply = await acall(node.host, node.port, ClientPut(key="smoke", value="ok"))
+        assert reply.ok, reply.error
+        reply = await acall(node.host, node.port, ClientGet(key="smoke"), timeout=15)
+        assert reply.ok and reply.payload["value"] == "ok"
+        for daemon in [net.bootstrap, *net.nodes]:
+            text = await _scrape_metrics(daemon.host, daemon.port)
+            moved = [
+                line
+                for line in text.splitlines()
+                if line.startswith("repro_frames_total") and line.split()[-1] != "0.0"
+            ]
+            assert moved, f"no frames counted on {daemon.host}:{daemon.port}"
+        print("  localnet served put/get; every daemon counted frames")
+    finally:
+        await net.stop()
+
+    print("smoke 2/3: codec micro, v2 must beat v1 ...")
+    micro = {v: bench_codec_micro(v, rounds=2_000) for v in (WIRE_V1, WIRE_V2)}
+    ratio = (
+        micro[WIRE_V2]["roundtrip_msgs_per_s"] / micro[WIRE_V1]["roundtrip_msgs_per_s"]
+    )
+    print(f"  micro roundtrip v2/v1: {ratio:.2f}x")
+    assert ratio >= 1.0, f"codec v2 slower than v1 in micro bench ({ratio:.2f}x)"
+
+    print("smoke 3/3: flood pump, v2 must beat v1 (best of 2) ...")
+    pump: Dict[int, float] = {}
+    for version in (WIRE_V1, WIRE_V2):
+        runs = [await _flood_pump(version, sinks=2, rounds=400) for _ in range(2)]
+        pump[version] = max(runs)
+        print(f"  v{version}: {pump[version]:,.0f} frames/s (best of 2)")
+    assert pump[WIRE_V2] >= pump[WIRE_V1], (
+        f"v2 pump ({pump[WIRE_V2]:,.0f}/s) slower than v1 ({pump[WIRE_V1]:,.0f}/s)"
+    )
+    print("smoke OK")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _stats(runs: List[float]) -> Dict[str, float]:
+    return {"best": max(runs), "median": statistics.median(runs), "all": runs}
+
+
+async def _full(args: argparse.Namespace) -> dict:
+    repeats = args.repeats
+    result: dict = {
+        "bench": "live runtime wire throughput, codec v1 vs v2",
+        "mix": MIX_DESCRIPTION,
+        "protocol": (
+            f"{repeats} repeats per version per bench, v1/v2 interleaved "
+            "in-process in the same time window; best = max throughput "
+            "across repeats (the run least disturbed by the machine), "
+            "median reported alongside"
+        ),
+    }
+
+    print(f"codec micro ({args.micro_rounds} rounds of the mix) ...")
+    micro: Dict[str, dict] = {}
+    micro_runs: Dict[int, List[float]] = {WIRE_V1: [], WIRE_V2: []}
+    micro_last: Dict[int, Dict[str, float]] = {}
+    for _ in range(repeats):
+        for version in (WIRE_V1, WIRE_V2):  # interleaved
+            r = bench_codec_micro(version, args.micro_rounds)
+            micro_runs[version].append(r["roundtrip_msgs_per_s"])
+            micro_last[version] = r
+    for version in (WIRE_V1, WIRE_V2):
+        stats = _stats(micro_runs[version])
+        micro[f"v{version}"] = {
+            "roundtrip_msgs_per_s": {
+                k: round(v) if k != "all" else [round(x) for x in v]
+                for k, v in stats.items()
+            },
+            "encode_msgs_per_s": round(micro_last[version]["encode_msgs_per_s"]),
+            "decode_msgs_per_s": round(micro_last[version]["decode_msgs_per_s"]),
+            "avg_frame_bytes": round(micro_last[version]["avg_frame_bytes"], 1),
+        }
+        print(
+            f"  v{version}: best {stats['best']:,.0f} msg/s "
+            f"(median {stats['median']:,.0f})"
+        )
+    micro["speedup_v2_over_v1_best"] = round(
+        max(micro_runs[WIRE_V2]) / max(micro_runs[WIRE_V1]), 2
+    )
+    result["codec_micro"] = micro
+
+    print(
+        f"flood pump ({args.sinks} sinks x {args.pump_rounds} rounds "
+        f"of the mix, frames decoded at sinks) ..."
+    )
+    pump: Dict[str, dict] = {}
+    pump_runs: Dict[int, List[float]] = {WIRE_V1: [], WIRE_V2: []}
+    for _ in range(repeats):
+        for version in (WIRE_V1, WIRE_V2):
+            fps = await _flood_pump(version, args.sinks, args.pump_rounds)
+            pump_runs[version].append(fps)
+    for version in (WIRE_V1, WIRE_V2):
+        stats = _stats(pump_runs[version])
+        pump[f"v{version}"] = {
+            "frames_per_s": {
+                k: round(v) if k != "all" else [round(x) for x in v]
+                for k, v in stats.items()
+            }
+        }
+        print(
+            f"  v{version}: best {stats['best']:,.0f} frames/s "
+            f"(median {stats['median']:,.0f})"
+        )
+    speedup = max(pump_runs[WIRE_V2]) / max(pump_runs[WIRE_V1])
+    pump["sinks"] = args.sinks
+    pump["frames_per_repeat"] = args.pump_rounds * 15 * args.sinks
+    pump["speedup_v2_over_v1_best"] = round(speedup, 2)
+    result["flood_pump"] = pump
+    print(f"  speedup v2/v1 (best): {speedup:.2f}x")
+
+    print(f"localnet put/get ({args.ops} ops each) ...")
+    ops: Dict[str, dict] = {}
+    for version in (WIRE_V1, WIRE_V2):
+        r = await _localnet_ops(version, args.ops)
+        ops[f"v{version}"] = {k: round(v, 1) for k, v in r.items()}
+        print(
+            f"  v{version}: {r['put_ops_per_s']:,.0f} puts/s, "
+            f"{r['get_ops_per_s']:,.0f} gets/s"
+        )
+    ops["note"] = (
+        "latency-bound (lookup polling + protocol timers), not codec-bound; "
+        "included to show v2 does not regress the client path"
+    )
+    result["localnet_ops"] = ops
+
+    result["headline"] = {
+        "metric": "flood pump frames/sec, medium mix (best of repeats)",
+        "v1_frames_per_s": round(max(pump_runs[WIRE_V1])),
+        "v2_frames_per_s": round(max(pump_runs[WIRE_V2])),
+        "speedup_v2_over_v1": round(speedup, 2),
+    }
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: tiny localnet + v2>=v1 assertion, no JSON")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats per version per bench (default: 3)")
+    parser.add_argument("--sinks", type=int, default=4,
+                        help="decoding TCP sinks in the flood pump (default: 4)")
+    parser.add_argument("--pump-rounds", type=int, default=1_500,
+                        help="mix broadcasts per pump repeat (default: 1500)")
+    parser.add_argument("--micro-rounds", type=int, default=10_000,
+                        help="mix rounds per codec-micro repeat (default: 10000)")
+    parser.add_argument("--ops", type=int, default=40,
+                        help="put/get ops in the localnet bench (default: 40)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_runtime.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return asyncio.run(_smoke())
+
+    result = asyncio.run(_full(args))
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    headline = result["headline"]
+    print(
+        f"headline: v2 {headline['v2_frames_per_s']:,} frames/s vs "
+        f"v1 {headline['v1_frames_per_s']:,} frames/s "
+        f"({headline['speedup_v2_over_v1']}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,7 +89,7 @@ async def main() -> None:
     )
     directory = json.loads(status_out)
     assert directory["t_count"] == 2 and directory["s_count"] == 2, directory
-    assert directory["codec_version"] == 1 and directory["uptime_s"] > 0, directory
+    assert directory["codec_version"] == 2 and directory["uptime_s"] > 0, directory
 
     # Every daemon multiplexes Prometheus scrapes on its protocol port;
     # after one put/get the frame counters must have moved everywhere,

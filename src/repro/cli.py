@@ -109,6 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=7401)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--ps", type=float, default=0.5, help="fraction of s-peers")
+    serve.add_argument("--codec", type=int, default=None, choices=(1, 2),
+                       help="wire format to encode with (default: v2; "
+                       "both are always decoded)")
 
     node = sub.add_parser("node", help="run one live peer")
     node.add_argument("--join", required=True, metavar="HOST:PORT",
@@ -117,6 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     node.add_argument("--port", type=int, default=0, help="0 = ephemeral")
     node.add_argument("--seed", type=int, default=0)
     node.add_argument("--capacity", type=float, default=1.0)
+    node.add_argument("--codec", type=int, default=None, choices=(1, 2),
+                      help="wire format to encode with (default: v2; "
+                      "both are always decoded)")
 
     put = sub.add_parser("put", help="store KEY=VALUE through a live node")
     put.add_argument("key")
@@ -343,11 +349,22 @@ def _run_daemon(daemon) -> int:
     return 0
 
 
+def _codec_kwargs(args: argparse.Namespace) -> dict:
+    """``codec_version=`` kwarg from the optional ``--codec`` flag."""
+    if getattr(args, "codec", None) is None:
+        return {}
+    return {"codec_version": args.codec}
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .runtime import BootstrapNode
 
     config = HybridConfig(p_s=args.ps)
-    return _run_daemon(BootstrapNode(args.host, args.port, config, seed=args.seed))
+    return _run_daemon(
+        BootstrapNode(
+            args.host, args.port, config, seed=args.seed, **_codec_kwargs(args)
+        )
+    )
 
 
 def _cmd_node(args: argparse.Namespace) -> int:
@@ -358,7 +375,8 @@ def _cmd_node(args: argparse.Namespace) -> int:
     host, port = _parse_endpoint(args.join)
     config = HybridConfig(server_address=pack_endpoint(host, port))
     daemon = PeerNode(
-        args.host, args.port, config, seed=args.seed, capacity=args.capacity
+        args.host, args.port, config, seed=args.seed, capacity=args.capacity,
+        **_codec_kwargs(args),
     )
 
     async def _serve() -> None:

@@ -73,8 +73,15 @@ def snapshot_delta(
         ("lookups", "repro_lookups_total"),
         ("hop events", "repro_lookup_hop_events_total"),
         ("drops", "repro_frames_dropped_total"),
+        ("backpressure", "repro_tx_backpressure_total"),
     ):
         rows.append((label, f"{rate(name):.1f}/s", "-", "-"))
+
+    # Gauge, not counter: current outbound queue occupancy (all
+    # destinations summed) at the instant of the scrape.
+    rows.append(
+        ("tx queue depth", f"{_counter_total(cur, 'repro_tx_queue_depth'):.0f}", "-", "-")
+    )
 
     for label, name in (
         ("lookup hops", "repro_lookup_hops"),

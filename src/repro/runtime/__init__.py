@@ -23,6 +23,9 @@ from .aio_transport import AioTransport
 from .bootstrap import BootstrapNode
 from .client import ClientGet, ClientPut, ClientReply, ClientStatus, acall, call, runtime_codec
 from .codec import (
+    WIRE_V1,
+    WIRE_V2,
+    WIRE_VERSION,
     CodecError,
     MessageCodec,
     default_codec,
@@ -48,6 +51,9 @@ __all__ = [
     "NodeDaemon",
     "PeerNode",
     "RuntimePeer",
+    "WIRE_V1",
+    "WIRE_V2",
+    "WIRE_VERSION",
     "acall",
     "call",
     "default_codec",

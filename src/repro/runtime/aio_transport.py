@@ -15,7 +15,23 @@ Design notes
 * **Write coalescing** -- ``send`` only appends the frame to the
   destination's queue; a per-connection writer task drains the whole
   queue into a single ``write`` + ``drain``.  Bursts (floods, dumps)
-  become one syscall instead of one per message.
+  become one syscall instead of one per message.  ``bytes_sent`` (and
+  the ``repro_wire_bytes_total{direction="tx"}`` counter) is bumped
+  *after* the coalesced batch is written and drained, so it counts
+  actual socket writes -- frames sitting in a queue, or dropped before
+  the write, never inflate it.
+* **Encode-once broadcast** -- ``send_many`` builds one frame and
+  enqueues the same ``bytes`` object to every remote destination,
+  mirroring the simulator's ``Transport.send_many``.  On a fanout-``k``
+  flood the codec runs once, not ``k`` times.
+* **Bounded queues with backpressure accounting** -- each destination
+  queue holds at most ``max_queue`` frames.  When a burst outruns the
+  socket, the *oldest* queued frame is dropped to admit the new one
+  (newest frames carry the freshest protocol state) and
+  ``repro_tx_backpressure_total{dest=...}`` is bumped; current depth
+  across all queues is exported as the ``repro_tx_queue_depth`` gauge.
+  Burst floods therefore degrade by shedding load instead of growing
+  unbounded buffers.
 * **Retry with exponential backoff** -- connects (and the frames queued
   behind them) are retried up to ``max_retries`` times with
   exponentially growing delays; connect and drain are both bounded by
@@ -33,19 +49,20 @@ from __future__ import annotations
 
 import asyncio
 import logging
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, Optional, Set, Tuple
 
 from ..obs.registry import MetricsRegistry
 from ..overlay.messages import Message
 from ..overlay.transport import Actor, TransportBase
 from .codec import MAX_FRAME, CodecError, MessageCodec, _LEN, format_endpoint, unpack_endpoint
 
-__all__ = ["AioTransport", "read_frame", "read_frame_body"]
+__all__ = ["AioTransport", "frame_stream", "read_frame", "read_frame_body"]
 
 logger = logging.getLogger("repro.runtime.transport")
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+async def read_frame(reader: asyncio.StreamReader) -> Optional[memoryview]:
     """Read one length-prefixed payload; None on clean EOF at a boundary."""
     try:
         header = await reader.readexactly(_LEN.size)
@@ -56,20 +73,74 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
 
 async def read_frame_body(
     reader: asyncio.StreamReader, header: bytes
-) -> Optional[bytes]:
+) -> Optional[memoryview]:
     """Read a frame's payload given its already-consumed length prefix.
 
     Split out of :func:`read_frame` so the node daemon can sniff the
     first bytes of an inbound connection (HTTP vs framed protocol) and
     still resume normal framing with the bytes it consumed.
+
+    Returns a :class:`memoryview` over the single ``bytes`` object the
+    stream reader assembled: the one unavoidable copy off the socket
+    buffer is the last one.  :meth:`MessageCodec.decode` slices that
+    view in place (header parse, struct unpacks, string decodes), so a
+    v2 frame reaches its message object with no intermediate copies.
     """
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
         raise CodecError(f"incoming frame too large: {length} bytes")
     try:
-        return await reader.readexactly(length)
+        return memoryview(await reader.readexactly(length))
     except (asyncio.IncompleteReadError, ConnectionError):
         return None
+
+
+async def frame_stream(reader: asyncio.StreamReader, initial: bytes = b""):
+    """Yield every frame payload on ``reader`` as a :class:`memoryview`.
+
+    The per-frame hot loop for inbound protocol connections.  Where
+    :func:`read_frame` awaits the event loop twice per frame (length,
+    then body), this reads the socket in large chunks and slices all
+    complete frames out of each chunk -- under a flood burst the remote
+    writer coalesces dozens of frames per segment, so this collapses
+    dozens of awaits into one.  Yielded views alias the chunk buffer
+    (``bytes``, so later buffer turnover cannot invalidate them); each
+    is consumed by ``decode`` before the generator is advanced, making
+    the whole rx path copy-free after the socket read.
+
+    ``initial`` seeds the buffer with bytes already consumed from the
+    stream (the daemon's HTTP-vs-frame sniff).  Ends on EOF; trailing
+    bytes that do not form a complete frame are discarded, matching
+    :func:`read_frame`'s mid-frame-EOF behaviour.
+    """
+    buf = bytes(initial)
+    pos = 0
+    while True:
+        n = len(buf)
+        if n - pos >= _LEN.size:
+            mv = memoryview(buf)
+            while n - pos >= _LEN.size:
+                (length,) = _LEN.unpack_from(buf, pos)
+                if length > MAX_FRAME:
+                    raise CodecError(f"incoming frame too large: {length} bytes")
+                body_start = pos + _LEN.size
+                if n - body_start < length:
+                    break
+                yield mv[body_start : body_start + length]
+                pos = body_start + length
+        try:
+            chunk = await reader.read(_READ_CHUNK)
+        except (OSError, ConnectionError):
+            return
+        if not chunk:
+            return
+        # One chunk-level concat per read; frames inside are sliced,
+        # never copied.
+        buf = buf[pos:] + chunk
+        pos = 0
+
+
+_READ_CHUNK = 256 * 1024
 
 
 class _Conn:
@@ -78,7 +149,7 @@ class _Conn:
     __slots__ = ("queue", "wakeup", "task", "failed", "connects")
 
     def __init__(self) -> None:
-        self.queue: List[bytes] = []
+        self.queue: Deque[bytes] = deque()
         self.wakeup = asyncio.Event()
         self.task: Optional[asyncio.Task] = None
         self.failed = False
@@ -100,11 +171,18 @@ class AioTransport(TransportBase):
         Connect attempts before a destination is declared unreachable.
     backoff_base:
         First retry delay in seconds; doubles per attempt (capped at 2s).
+    max_queue:
+        Outbound queue bound, in frames, per destination.  A burst
+        beyond this sheds the *oldest* queued frame per new arrival
+        (drop-oldest: newer frames carry fresher protocol state) and
+        counts it as backpressure.
     registry:
         Optional :class:`~repro.obs.registry.MetricsRegistry`.  When
         given, the transport feeds per-type tx frame counts, wire
-        bytes, and per-destination drop/retry/reconnect counters into
-        it (the node's ``/metrics`` endpoint exposes them).
+        bytes (post-coalescing -- see module notes), the
+        ``repro_tx_queue_depth`` gauge, and per-destination
+        backpressure/drop/retry/reconnect counters into it (the node's
+        ``/metrics`` endpoint exposes them).
     """
 
     def __init__(
@@ -114,13 +192,17 @@ class AioTransport(TransportBase):
         op_timeout: float = 5.0,
         max_retries: int = 4,
         backoff_base: float = 0.05,
+        max_queue: int = 1024,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self.codec = codec
         self.loop = loop if loop is not None else asyncio.get_event_loop()
         self.op_timeout = op_timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
+        self.max_queue = max_queue
         self.messages_sent = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
@@ -130,7 +212,9 @@ class AioTransport(TransportBase):
         self.dropped_by_dest: Dict[int, int] = {}
         self.retried_by_dest: Dict[int, int] = {}
         self.reconnects_by_dest: Dict[int, int] = {}
+        self.backpressure_by_dest: Dict[int, int] = {}
         self._drop_warned: Set[int] = set()
+        self._backpressure_warned: Set[int] = set()
         self._actors: Dict[int, Actor] = {}
         self._conns: Dict[int, _Conn] = {}
         self._closing = False
@@ -141,6 +225,7 @@ class AioTransport(TransportBase):
         self._dropped_fam = None
         self._retried_fam = None
         self._reconnects_fam = None
+        self._backpressure_fam = None
         if registry is not None:
             self._frames_fam = registry.counter(
                 "repro_frames_total",
@@ -167,6 +252,15 @@ class AioTransport(TransportBase):
                 "Successful re-connects to a previously connected destination",
                 labelnames=("dest",),
             )
+            self._backpressure_fam = registry.counter(
+                "repro_tx_backpressure_total",
+                "Oldest-frame drops forced by a full outbound queue",
+                labelnames=("dest",),
+            )
+            registry.gauge(
+                "repro_tx_queue_depth",
+                "Frames currently queued for transmission, all destinations",
+            ).set_function(self.tx_queue_depth)
 
     # ------------------------------------------------------------------
     # Registry (local actors on this transport)
@@ -283,6 +377,9 @@ class AioTransport(TransportBase):
             self._note_dropped(dst_address, 1)
             return False
         conn.queue.append(frame)
+        if len(conn.queue) > self.max_queue:
+            conn.queue.popleft()
+            self._note_backpressure(dst_address, 1)
         conn.wakeup.set()
         if conn.task is None or conn.task.done():
             conn.task = self.loop.create_task(
@@ -291,6 +388,48 @@ class AioTransport(TransportBase):
             )
         self.messages_sent += 1
         return True
+
+    def tx_queue_depth(self) -> int:
+        """Frames queued for transmission right now, across destinations."""
+        return sum(len(conn.queue) for conn in self._conns.values())
+
+    def connection_info(self) -> Dict[str, Dict[str, Any]]:
+        """Per-destination transmit-side state, keyed by endpoint.
+
+        ``tx_codec_version`` is the body format this transport writes to
+        that destination -- the configured codec version (every decoder
+        accepts both formats by default, so no in-band negotiation is
+        needed and broadcast frames stay shareable across destinations).
+        """
+        info: Dict[str, Dict[str, Any]] = {}
+        for dst, conn in self._conns.items():
+            info[format_endpoint(dst)] = {
+                "tx_codec_version": self.codec.version,
+                "queue_depth": len(conn.queue),
+                "connects": conn.connects,
+                "failed": conn.failed,
+                "backpressure_drops": self.backpressure_by_dest.get(dst, 0),
+            }
+        return info
+
+    def _note_backpressure(self, dst_address: int, count: int) -> None:
+        """Account oldest-frame drops forced by a full outbound queue."""
+        if count <= 0:
+            return
+        self.messages_dropped += count
+        total = self.backpressure_by_dest.get(dst_address, 0) + count
+        self.backpressure_by_dest[dst_address] = total
+        endpoint = format_endpoint(dst_address)
+        if self._backpressure_fam is not None:
+            self._backpressure_fam.labels(endpoint).inc(count)
+        if dst_address not in self._backpressure_warned:
+            self._backpressure_warned.add(dst_address)
+            logger.warning(
+                "outbound queue to %s full (%d frames); dropping oldest "
+                "(%d shed so far; further backpressure drops to this "
+                "destination are counted but not logged)",
+                endpoint, self.max_queue, total,
+            )
 
     # ------------------------------------------------------------------
     # Writer task: one per live destination
@@ -326,11 +465,15 @@ class AioTransport(TransportBase):
                             self._reconnects_fam.labels(
                                 format_endpoint(dst_address)
                             ).inc()
-                batch, conn.queue = conn.queue, []
+                batch = list(conn.queue)
+                conn.queue.clear()
                 data = b"".join(batch)
                 try:
                     writer.write(data)
                     await asyncio.wait_for(writer.drain(), self.op_timeout)
+                    # Post-coalescing accounting: this is the size of
+                    # the actual socket write that just drained, not
+                    # the sum of frames ever enqueued.
                     self.bytes_sent += len(data)
                     if self._wire_bytes_tx is not None:
                         self._wire_bytes_tx.inc(len(data))
@@ -338,8 +481,15 @@ class AioTransport(TransportBase):
                     # Connection died mid-write: put the batch back and
                     # reconnect (frames may be duplicated at the far
                     # end, which the protocol tolerates -- dispatch is
-                    # idempotent for every message type).
-                    conn.queue = batch + conn.queue
+                    # idempotent for every message type).  Sends may
+                    # have landed behind the batch meanwhile, so
+                    # re-bound the merged queue, oldest first.
+                    conn.queue.extendleft(reversed(batch))
+                    overflow = len(conn.queue) - self.max_queue
+                    if overflow > 0:
+                        for _ in range(overflow):
+                            conn.queue.popleft()
+                        self._note_backpressure(dst_address, overflow)
                     self.retried_by_dest[dst_address] = (
                         self.retried_by_dest.get(dst_address, 0) + len(batch)
                     )

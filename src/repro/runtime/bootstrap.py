@@ -17,7 +17,6 @@ from ..core.server import BootstrapServer
 from ..overlay.idspace import IdSpace
 from ..overlay.messages import Message
 from .client import ClientReply, ClientStatus
-from .codec import WIRE_VERSION
 from .node import NodeDaemon
 
 __all__ = ["BootstrapNode"]
@@ -58,5 +57,6 @@ class BootstrapNode(NodeDaemon):
         snap["endpoint"] = f"{self.host}:{self.port}"
         snap["address"] = self.address
         snap["uptime_s"] = round(self.uptime(), 3)
-        snap["codec_version"] = WIRE_VERSION
+        snap["codec_version"] = self.codec.version
+        snap["codec"] = self.codec_snapshot()
         return snap

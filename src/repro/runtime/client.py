@@ -14,10 +14,10 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from ..overlay.messages import Message
-from .codec import CLIENT_TYPE_BASE, MessageCodec, default_codec
+from .codec import CLIENT_TYPE_BASE, WIRE_VERSION, MessageCodec, default_codec
 from .aio_transport import read_frame
 
 __all__ = [
@@ -73,9 +73,17 @@ def client_types() -> tuple:
     return (ClientPut, ClientGet, ClientStatus, ClientReply)
 
 
-def runtime_codec() -> MessageCodec:
-    """The full live-runtime codec: every protocol message + client verbs."""
-    codec = default_codec()
+def runtime_codec(
+    version: int = WIRE_VERSION, accept: Optional[Iterable[int]] = None
+) -> MessageCodec:
+    """The full live-runtime codec: every protocol message + client verbs.
+
+    ``version``/``accept`` pass straight through to
+    :class:`~repro.runtime.codec.MessageCodec`: ``version`` is the body
+    format this codec *encodes*, ``accept`` the versions it decodes
+    (both, by default, so mixed-version localnets interoperate).
+    """
+    codec = default_codec(version=version, accept=accept)
     for i, cls in enumerate(client_types()):
         codec.register(cls, CLIENT_TYPE_BASE + i)
     return codec

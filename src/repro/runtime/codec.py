@@ -1,32 +1,49 @@
-"""Length-prefixed binary wire format for overlay messages.
+"""Length-prefixed binary wire formats for overlay messages.
 
 The live runtime sends the *same* message dataclasses the simulator
 delivers in-process (:mod:`repro.overlay.messages`) over real TCP
 sockets.  Encoders are auto-derived per message class -- no per-message
 hand-written serialization -- from the dataclass field list and the
-type annotations:
+type annotations.  Two body formats share one frame layout:
 
 * **framing** -- each message is one frame: a 4-byte big-endian length
   followed by the payload (``struct``);
 * **payload** -- a 1-byte format version, a 2-byte big-endian type id,
-  then the field values as a compact JSON array in dataclass field
-  order (``sender`` and ``hop_count`` from the :class:`Message` base
-  first, subclass fields after, exactly as ``dataclasses.fields``
-  reports them);
+  then the field values in dataclass field order (``sender`` and
+  ``hop_count`` from the :class:`Message` base first, subclass fields
+  after, exactly as ``dataclasses.fields`` reports them);
+* **v1 body** (:data:`WIRE_V1`) -- the field values as a compact JSON
+  array.  ``bytes`` become ``{"__bytes__": <base64>}``; tuples are
+  revived from JSON arrays using the field annotations so
+  ``decode(encode(m)) == m`` holds exactly;
+* **v2 body** (:data:`WIRE_V2`) -- the fast path: a per-class
+  **precompiled packer** built at registration time from the same
+  annotations.  Runs of fixed-width fields (``int`` -> ``!q``,
+  ``float`` -> ``!d``, ``bool`` -> ``!?``) collapse into single
+  :class:`struct.Struct` pack/unpack calls; ``str``/``bytes`` are
+  ``!I``-length-prefixed; homogeneous tuples carry a ``!I`` count;
+  fixed-arity tuples are laid out element by element; ``Optional`` adds
+  a 1-byte presence flag; ``Any`` fields carry a length-prefixed JSON
+  value (same adapters as v1).  Decoding slices a single
+  :class:`memoryview` over the payload -- no intermediate copies;
+* **fallback** -- a class whose annotations the v2 compiler does not
+  understand, or a field value outside its fixed-width range (an int
+  beyond 64 bits), is encoded as a v1 frame even by a v2 codec.  The
+  version byte makes the choice explicit on the wire, so the decoder
+  never guesses;
 * **type ids** -- derived from :func:`repro.overlay.messages.wire_types`
   (position in ``__all__``), so ids are stable as long as that list is
   append-only; runtime-private messages (the client verbs) register in
-  a reserved band above :data:`CLIENT_TYPE_BASE`;
-* **bytes values** -- JSON has no bytes type, so ``bytes`` payloads are
-  encoded as ``{"__bytes__": <base64>}`` and revived on decode;
-* **tuples** -- JSON arrays decode as lists; fields annotated as tuples
-  (including nested shapes like ``Tuple[Tuple[int, int], ...]``) are
-  revived to tuples so ``decode(encode(m)) == m`` holds exactly.
+  a reserved band above :data:`CLIENT_TYPE_BASE`.
 
-The version byte gives forward compatibility: a decoder that sees an
-unknown version (or type id) raises :class:`CodecError` instead of
-misparsing, and a future format revision can bump the byte without
-breaking the frame layout.
+The version byte gives forward compatibility: a decoder that sees a
+version it does not accept (or an unknown type id) raises
+:class:`CodecError` instead of misparsing.  By default a codec decodes
+*both* formats regardless of which it encodes, so mixed-version
+networks interoperate: each sender picks its own body format and every
+receiver understands it.  Pass ``accept`` to build a strict
+single-version decoder (the cross-version tests use this to prove a
+foreign frame is rejected, never misread).
 
 Everything here is stdlib-only (``struct`` + ``json``) and synchronous;
 the asyncio plumbing lives in :mod:`repro.runtime.aio_transport`.
@@ -39,11 +56,26 @@ import json
 import socket
 import struct
 from dataclasses import fields as dataclass_fields
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union, get_args, get_origin, get_type_hints
+from operator import attrgetter
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+    get_args,
+    get_origin,
+    get_type_hints,
+)
 
 from ..overlay.messages import Message, wire_types
 
 __all__ = [
+    "WIRE_V1",
+    "WIRE_V2",
     "WIRE_VERSION",
     "MAX_FRAME",
     "CLIENT_TYPE_BASE",
@@ -55,7 +87,11 @@ __all__ = [
     "format_endpoint",
 ]
 
-WIRE_VERSION = 1
+WIRE_V1 = 1  # JSON-array body
+WIRE_V2 = 2  # precompiled struct-packed body
+# The version new codecs encode with unless told otherwise.
+WIRE_VERSION = WIRE_V2
+_KNOWN_VERSIONS = (WIRE_V1, WIRE_V2)
 # Hard cap on a single frame; a length prefix beyond this is treated as
 # a corrupt/hostile stream rather than an allocation request.
 MAX_FRAME = 16 * 1024 * 1024
@@ -66,6 +102,9 @@ CLIENT_TYPE_BASE = 512
 
 _LEN = struct.Struct("!I")
 _HEAD = struct.Struct("!BH")
+_U32 = struct.Struct("!I")
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
 
 
 class CodecError(ValueError):
@@ -106,7 +145,7 @@ def format_endpoint(address: int) -> str:
 
 
 # ----------------------------------------------------------------------
-# JSON value adapters
+# JSON value adapters (v1 bodies and embedded ``Any`` values in v2)
 # ----------------------------------------------------------------------
 def _json_default(obj: Any) -> Any:
     if isinstance(obj, (bytes, bytearray)):
@@ -121,7 +160,7 @@ def _json_object_hook(obj: Dict[str, Any]) -> Any:
 
 
 def _reviver_for(hint: Any) -> Optional[Callable[[Any], Any]]:
-    """Derive a decode-side value reviver from a type annotation.
+    """Derive a v1 decode-side value reviver from a type annotation.
 
     Returns None when JSON round-trips the value unchanged (ints,
     floats, strs, bools, Any); otherwise a callable that restores the
@@ -148,22 +187,287 @@ def _reviver_for(hint: Any) -> Optional[Callable[[Any], Any]]:
     return None
 
 
-class _Entry:
-    """Per-class codec entry: field order and decode revivers."""
+# ----------------------------------------------------------------------
+# v2 packer compiler
+# ----------------------------------------------------------------------
+# A compiled plan is a list of steps executed in field order:
+#   (_FIXED, struct.Struct, attrgetter, n_fields) -- a run of
+#       consecutive fixed-width scalars packed/unpacked in one call;
+#   (_VAR, pack_fn, unpack_fn, field_name) -- one variable-size field.
+# pack_fn(value, out_bytearray) appends bytes; unpack_fn(buf, pos)
+# returns (value, new_pos) and must bounds-check (memoryview slicing
+# silently truncates, so every reader goes through _take).
 
-    __slots__ = ("cls", "type_id", "names", "init_names", "extra_names", "revivers")
+_FIXED = 0
+_VAR = 1
+
+_FIXED_FMT = {int: "q", float: "d", bool: "?"}
+
+PackFn = Callable[[Any, bytearray], None]
+UnpackFn = Callable[[Any, int], Tuple[Any, int]]
+
+
+def _take(buf: Any, pos: int, n: int) -> Tuple[Any, int]:
+    end = pos + n
+    if end > len(buf):
+        raise CodecError("truncated frame body")
+    return buf[pos:end], end
+
+
+def _pack_i64(v: Any, out: bytearray) -> None:
+    out += _I64.pack(v)
+
+
+def _unpack_i64(buf: Any, pos: int) -> Tuple[int, int]:
+    (v,) = _I64.unpack_from(buf, pos)
+    return v, pos + 8
+
+
+def _pack_f64(v: Any, out: bytearray) -> None:
+    out += _F64.pack(v)
+
+
+def _unpack_f64(buf: Any, pos: int) -> Tuple[float, int]:
+    (v,) = _F64.unpack_from(buf, pos)
+    return v, pos + 8
+
+
+def _pack_bool(v: Any, out: bytearray) -> None:
+    out.append(1 if v else 0)
+
+
+def _unpack_bool(buf: Any, pos: int) -> Tuple[bool, int]:
+    if pos >= len(buf):
+        raise CodecError("truncated frame body")
+    return bool(buf[pos]), pos + 1
+
+
+def _pack_str(v: Any, out: bytearray) -> None:
+    raw = v.encode("utf-8")
+    out += _U32.pack(len(raw))
+    out += raw
+
+
+def _unpack_str(buf: Any, pos: int) -> Tuple[str, int]:
+    (n,) = _U32.unpack_from(buf, pos)
+    raw, pos = _take(buf, pos + 4, n)
+    try:
+        return str(raw, "utf-8"), pos
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"bad utf-8 string: {exc}") from exc
+
+
+def _pack_bytes(v: Any, out: bytearray) -> None:
+    out += _U32.pack(len(v))
+    out += v
+
+
+def _unpack_bytes(buf: Any, pos: int) -> Tuple[bytes, int]:
+    (n,) = _U32.unpack_from(buf, pos)
+    raw, pos = _take(buf, pos + 4, n)
+    return bytes(raw), pos
+
+
+def _pack_any(v: Any, out: bytearray) -> None:
+    raw = json.dumps(v, separators=(",", ":"), default=_json_default).encode(
+        "utf-8"
+    )
+    out += _U32.pack(len(raw))
+    out += raw
+
+
+def _unpack_any(buf: Any, pos: int) -> Tuple[Any, int]:
+    (n,) = _U32.unpack_from(buf, pos)
+    raw, pos = _take(buf, pos + 4, n)
+    try:
+        return json.loads(str(raw, "utf-8"), object_hook=_json_object_hook), pos
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"bad embedded JSON value: {exc}") from exc
+
+
+def _homogeneous_tuple_codec(
+    elem_pack: PackFn, elem_unpack: UnpackFn
+) -> Tuple[PackFn, UnpackFn]:
+    def pack(v: Any, out: bytearray) -> None:
+        out += _U32.pack(len(v))
+        for x in v:
+            elem_pack(x, out)
+
+    def unpack(buf: Any, pos: int) -> Tuple[tuple, int]:
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        # Every element consumes >= 1 byte, so a count beyond the
+        # remaining payload is corrupt -- reject before looping.
+        if n > len(buf) - pos:
+            raise CodecError("tuple count exceeds frame body")
+        items = []
+        for _ in range(n):
+            x, pos = elem_unpack(buf, pos)
+            items.append(x)
+        return tuple(items), pos
+
+    return pack, unpack
+
+
+def _fixed_tuple_codec(
+    parts: List[Tuple[PackFn, UnpackFn]]
+) -> Tuple[PackFn, UnpackFn]:
+    packs = [p for p, _ in parts]
+    unpacks = [u for _, u in parts]
+    arity = len(parts)
+
+    def pack(v: Any, out: bytearray) -> None:
+        if len(v) != arity:
+            raise ValueError(f"expected {arity}-tuple, got {len(v)}")
+        for fn, x in zip(packs, v):
+            fn(x, out)
+
+    def unpack(buf: Any, pos: int) -> Tuple[tuple, int]:
+        items = []
+        for fn in unpacks:
+            x, pos = fn(buf, pos)
+            items.append(x)
+        return tuple(items), pos
+
+    return pack, unpack
+
+
+def _optional_codec(
+    inner_pack: PackFn, inner_unpack: UnpackFn
+) -> Tuple[PackFn, UnpackFn]:
+    def pack(v: Any, out: bytearray) -> None:
+        if v is None:
+            out.append(0)
+        else:
+            out.append(1)
+            inner_pack(v, out)
+
+    def unpack(buf: Any, pos: int) -> Tuple[Any, int]:
+        if pos >= len(buf):
+            raise CodecError("truncated frame body")
+        flag = buf[pos]
+        pos += 1
+        if flag == 0:
+            return None, pos
+        if flag != 1:
+            raise CodecError(f"bad optional presence flag {flag}")
+        return inner_unpack(buf, pos)
+
+    return pack, unpack
+
+
+def _var_codec_for(hint: Any) -> Optional[Tuple[PackFn, UnpackFn]]:
+    """(pack, unpack) for one annotation, or None if not derivable."""
+    if hint is Any:
+        return _pack_any, _unpack_any
+    if hint is bool:
+        return _pack_bool, _unpack_bool
+    if hint is int:
+        return _pack_i64, _unpack_i64
+    if hint is float:
+        return _pack_f64, _unpack_f64
+    if hint is str:
+        return _pack_str, _unpack_str
+    if hint is bytes:
+        return _pack_bytes, _unpack_bytes
+    origin = get_origin(hint)
+    if origin is tuple:
+        args = get_args(hint)
+        if len(args) == 2 and args[1] is Ellipsis:
+            elem = _var_codec_for(args[0])
+            if elem is None:
+                return None
+            return _homogeneous_tuple_codec(*elem)
+        parts = [_var_codec_for(a) for a in args]
+        if any(p is None for p in parts):
+            return None
+        return _fixed_tuple_codec(parts)  # type: ignore[arg-type]
+    if origin is Union:
+        args = get_args(hint)
+        if type(None) in args:
+            inner = [a for a in args if a is not type(None)]
+            if len(inner) == 1:
+                part = _var_codec_for(inner[0])
+                if part is None:
+                    return None
+                return _optional_codec(*part)
+    return None
+
+
+def _compile_plan(
+    names: List[str], hints: Dict[str, Any]
+) -> Optional[List[tuple]]:
+    """The v2 packer plan for a field list, or None if underivable."""
+    steps: List[tuple] = []
+    run_fmt: List[str] = []
+    run_names: List[str] = []
+
+    def flush_run() -> None:
+        if run_names:
+            steps.append(
+                (
+                    _FIXED,
+                    struct.Struct("!" + "".join(run_fmt)),
+                    attrgetter(*run_names),
+                    len(run_names),
+                )
+            )
+            run_fmt.clear()
+            run_names.clear()
+
+    for name in names:
+        hint = hints.get(name, Any)
+        code = _FIXED_FMT.get(hint)
+        if code is not None:
+            run_fmt.append(code)
+            run_names.append(name)
+            continue
+        pair = _var_codec_for(hint)
+        if pair is None:
+            return None  # unknown shape: the whole class stays on v1
+        flush_run()
+        steps.append((_VAR, pair[0], pair[1], name))
+    flush_run()
+    return steps
+
+
+class _Entry:
+    """Per-class codec entry: field order, v1 revivers, v2 packer plan."""
+
+    __slots__ = (
+        "cls",
+        "type_id",
+        "names",
+        "init_idx",
+        "extra",
+        "revivers",
+        "plan",
+        "head_v1",
+        "head_v2",
+    )
 
     def __init__(self, cls: type, type_id: int) -> None:
         self.cls = cls
         self.type_id = type_id
         flds = dataclass_fields(cls)
         self.names: List[str] = [f.name for f in flds]
-        self.init_names: List[str] = [f.name for f in flds if f.init]
-        self.extra_names: List[str] = [f.name for f in flds if not f.init]
+        # Decoded values arrive as a list in field order; messages are
+        # rebuilt positionally -- init fields straight into the
+        # constructor, init=False fields (sender/hop_count from the
+        # Message base) via setattr afterwards.
+        self.init_idx: Tuple[int, ...] = tuple(
+            i for i, f in enumerate(flds) if f.init
+        )
+        self.extra: Tuple[Tuple[int, str], ...] = tuple(
+            (i, f.name) for i, f in enumerate(flds) if not f.init
+        )
         hints = get_type_hints(cls)
         self.revivers: List[Optional[Callable[[Any], Any]]] = [
             _reviver_for(hints.get(f.name, Any)) for f in flds
         ]
+        self.plan = _compile_plan(self.names, hints)
+        self.head_v1 = _HEAD.pack(WIRE_V1, type_id)
+        self.head_v2 = _HEAD.pack(WIRE_V2, type_id)
 
 
 class MessageCodec:
@@ -173,9 +477,36 @@ class MessageCodec:
     class must be a :class:`Message` dataclass.  :func:`default_codec`
     pre-registers every protocol message; callers with runtime-private
     messages register them on top (ids >= :data:`CLIENT_TYPE_BASE`).
+
+    Parameters
+    ----------
+    version:
+        The body format :meth:`encode` emits: :data:`WIRE_V2` (default,
+        the struct-packed fast path) or :data:`WIRE_V1` (JSON).  A v2
+        codec still emits v1 frames for classes without a compiled plan
+        and for values outside the packed layout.
+    accept:
+        Versions :meth:`decode` understands.  Defaults to *both* so
+        mixed-version networks interoperate; pass ``(WIRE_V2,)`` (or
+        ``(WIRE_V1,)``) for a strict single-version decoder that raises
+        :class:`CodecError` on foreign frames.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        version: int = WIRE_VERSION,
+        accept: Optional[Iterable[int]] = None,
+    ) -> None:
+        if version not in _KNOWN_VERSIONS:
+            raise CodecError(f"unknown wire version {version}")
+        accepted = _KNOWN_VERSIONS if accept is None else tuple(accept)
+        for v in accepted:
+            if v not in _KNOWN_VERSIONS:
+                raise CodecError(f"unknown wire version {v}")
+        if not accepted:
+            raise CodecError("codec must accept at least one version")
+        self.version = version
+        self.accepted_versions = frozenset(accepted)
         self._by_class: Dict[type, _Entry] = {}
         self._by_id: Dict[int, _Entry] = {}
 
@@ -201,14 +532,43 @@ class MessageCodec:
             raise CodecError(f"{cls.__name__} is not registered")
         return entry.type_id
 
+    def has_v2_layout(self, cls: type) -> bool:
+        """True when ``cls`` has a compiled struct plan (no v1 fallback)."""
+        entry = self._by_class.get(cls)
+        if entry is None:
+            raise CodecError(f"{cls.__name__} is not registered")
+        return entry.plan is not None
+
     # ------------------------------------------------------------------
-    # Encode / decode
+    # Encode
     # ------------------------------------------------------------------
-    def encode(self, msg: Message) -> bytes:
-        """Payload bytes (no length prefix) for one message."""
+    def encode(self, msg: Message, version: Optional[int] = None) -> bytes:
+        """Payload bytes (no length prefix) for one message.
+
+        ``version`` overrides the codec's configured body format for
+        this one message (the bench and the cross-version tests use it;
+        the transport always encodes at the configured version).
+        """
         entry = self._by_class.get(type(msg))
         if entry is None:
             raise CodecError(f"{type(msg).__name__} is not registered")
+        v = self.version if version is None else version
+        if v == WIRE_V2 and entry.plan is not None:
+            try:
+                return self._encode_v2(entry, msg)
+            except CodecError:
+                raise
+            except (struct.error, OverflowError, TypeError, ValueError):
+                # A value the packed layout cannot carry (int beyond 64
+                # bits, wrong arity, non-utf8 str): fall back to the
+                # JSON body, which either carries it or raises a real
+                # CodecError below.
+                pass
+        elif v not in _KNOWN_VERSIONS:
+            raise CodecError(f"unknown wire version {v}")
+        return self._encode_v1(entry, msg)
+
+    def _encode_v1(self, entry: _Entry, msg: Message) -> bytes:
         try:
             body = json.dumps(
                 [getattr(msg, name) for name in entry.names],
@@ -219,29 +579,64 @@ class MessageCodec:
             raise CodecError(
                 f"{type(msg).__name__} payload is not wire-encodable: {exc}"
             ) from exc
-        return _HEAD.pack(WIRE_VERSION, entry.type_id) + body
+        return entry.head_v1 + body
 
-    def frame(self, msg: Message) -> bytes:
+    def _encode_v2(self, entry: _Entry, msg: Message) -> bytes:
+        out = bytearray(entry.head_v2)
+        for step in entry.plan:  # type: ignore[union-attr]
+            if step[0] == _FIXED:
+                if step[3] == 1:
+                    out += step[1].pack(step[2](msg))
+                else:
+                    out += step[1].pack(*step[2](msg))
+            else:
+                step[1](getattr(msg, step[3]), out)
+        return bytes(out)
+
+    def frame(self, msg: Message, version: Optional[int] = None) -> bytes:
         """Length-prefixed frame ready to write to a socket."""
-        payload = self.encode(msg)
+        payload = self.encode(msg, version)
         if len(payload) > MAX_FRAME:
             raise CodecError(f"frame too large: {len(payload)} bytes")
         return _LEN.pack(len(payload)) + payload
 
-    def decode(self, payload: bytes) -> Message:
-        """Rebuild the message from payload bytes (no length prefix)."""
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def decode(self, payload: Any) -> Message:
+        """Rebuild the message from payload bytes (no length prefix).
+
+        Accepts any bytes-like object (``bytes``, ``bytearray``,
+        ``memoryview``); all v2 slicing happens through one memoryview,
+        so nothing is copied on the fast path.
+        """
         if len(payload) < _HEAD.size:
             raise CodecError("truncated payload")
         version, type_id = _HEAD.unpack_from(payload)
-        if version != WIRE_VERSION:
+        if version not in self.accepted_versions:
             raise CodecError(f"unsupported wire version {version}")
         entry = self._by_id.get(type_id)
         if entry is None:
             raise CodecError(f"unknown message type id {type_id}")
+        if version == WIRE_V2:
+            values = self._decode_v2(entry, payload)
+        else:
+            values = self._decode_v1(entry, payload)
+        try:
+            msg = entry.cls(*[values[i] for i in entry.init_idx])
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot rebuild {entry.cls.__name__}: {exc}") from exc
+        for i, name in entry.extra:  # sender / hop_count (init=False)
+            setattr(msg, name, values[i])
+        return msg
+
+    def _decode_v1(self, entry: _Entry, payload: Any) -> List[Any]:
+        body = payload[_HEAD.size :]
+        if isinstance(body, memoryview):  # json.loads cannot take one
+            body = bytes(body)
         try:
             values = json.loads(
-                payload[_HEAD.size :].decode("utf-8"),
-                object_hook=_json_object_hook,
+                body.decode("utf-8"), object_hook=_json_object_hook
             )
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise CodecError(f"bad message body: {exc}") from exc
@@ -250,26 +645,46 @@ class MessageCodec:
                 f"{entry.cls.__name__} expects {len(entry.names)} fields, "
                 f"got {len(values) if isinstance(values, list) else 'non-list'}"
             )
-        revived = {}
-        for name, revive, value in zip(entry.names, entry.revivers, values):
-            revived[name] = value if (revive is None or value is None) else revive(value)
+        return [
+            value if (revive is None or value is None) else revive(value)
+            for revive, value in zip(entry.revivers, values)
+        ]
+
+    def _decode_v2(self, entry: _Entry, payload: Any) -> List[Any]:
+        if entry.plan is None:
+            raise CodecError(f"{entry.cls.__name__} has no v2 wire layout")
+        buf = payload if isinstance(payload, memoryview) else memoryview(payload)
+        pos = _HEAD.size
+        values: List[Any] = []
         try:
-            msg = entry.cls(**{n: revived[n] for n in entry.init_names})
-        except (TypeError, ValueError) as exc:
-            raise CodecError(f"cannot rebuild {entry.cls.__name__}: {exc}") from exc
-        for name in entry.extra_names:  # sender / hop_count (init=False)
-            setattr(msg, name, revived[name])
-        return msg
+            for step in entry.plan:
+                if step[0] == _FIXED:
+                    values.extend(step[1].unpack_from(buf, pos))
+                    pos += step[1].size
+                else:
+                    v, pos = step[2](buf, pos)
+                    values.append(v)
+        except struct.error as exc:
+            raise CodecError(
+                f"truncated {entry.cls.__name__} body: {exc}"
+            ) from exc
+        if pos != len(buf):
+            raise CodecError(
+                f"{len(buf) - pos} trailing bytes after {entry.cls.__name__}"
+            )
+        return values
 
 
-def default_codec() -> MessageCodec:
+def default_codec(
+    version: int = WIRE_VERSION, accept: Optional[Iterable[int]] = None
+) -> MessageCodec:
     """A codec with every protocol message registered.
 
     Type ids are ``1 + position`` in :func:`wire_types` order (0 is
     reserved), so both ends of a connection derive the same table from
     the message module alone.
     """
-    codec = MessageCodec()
+    codec = MessageCodec(version=version, accept=accept)
     for i, cls in enumerate(wire_types()):
         codec.register(cls, 1 + i)
     return codec

@@ -33,9 +33,9 @@ from ..obs.registry import MetricsRegistry
 from ..overlay.idspace import IdSpace
 from ..overlay.messages import DataFound, Message
 from ..sim.trace import TraceBus
-from .aio_transport import AioTransport, read_frame_body
+from .aio_transport import AioTransport, frame_stream
 from .client import ClientGet, ClientPut, ClientReply, ClientStatus, runtime_codec
-from .codec import WIRE_VERSION, CodecError, pack_endpoint
+from .codec import WIRE_VERSION, CodecError, format_endpoint, pack_endpoint
 from .loop_engine import LoopEngine
 
 __all__ = ["RuntimePeer", "NodeDaemon", "PeerNode"]
@@ -83,12 +83,21 @@ class NodeDaemon:
         port: int,
         config: HybridConfig,
         seed: int = 0,
+        codec_version: int = WIRE_VERSION,
     ) -> None:
         self.host = host
         self.port = port
         self.config = config
         self.seed = seed
-        self.codec = runtime_codec()
+        # The version this daemon *encodes* with; it decodes both wire
+        # formats regardless, so mixed-version localnets interoperate
+        # without in-band negotiation (see runtime/codec.py).
+        self.codec = runtime_codec(version=codec_version)
+        # Wire format actually observed on inbound connections, keyed
+        # by the sender's endpoint -- this is what the status verb
+        # reports per connection (the configured constant alone cannot
+        # tell a mixed-version localnet apart).
+        self._rx_versions: Dict[str, int] = {}
         # Observability: every daemon carries its own registry; the
         # trace bus + bridge replay the protocol core's trace emissions
         # (lookup spans, hop timings, stores) into the same metric
@@ -193,28 +202,37 @@ class NodeDaemon:
                 head: Optional[bytes] = await reader.readexactly(4)
             except (asyncio.IncompleteReadError, ConnectionError):
                 head = None
-            if head is not None and head in _HTTP_PREFIXES:
+            if head is None:
+                return
+            if head in _HTTP_PREFIXES:
                 await self._serve_http(reader, writer, head)
                 return
-            while head is not None:
-                payload = await read_frame_body(reader, head)
-                if payload is None:
-                    break
+            last_version = -1
+            # Buffered frame loop: under a flood burst the remote's
+            # write coalescing lands dozens of frames per TCP segment,
+            # and frame_stream slices them all out of one read.
+            async for payload in frame_stream(reader, initial=head):
                 try:
                     msg = self.codec.decode(payload)
                 except CodecError:
                     break  # corrupt/foreign stream: drop the connection
                 self._count_rx(type(msg), len(payload) + 4)
+                version = payload[0]
+                if version != last_version:
+                    # Once per connection in steady state: remember the
+                    # wire format this sender actually speaks, keyed by
+                    # its endpoint (client verbs carry no address).
+                    last_version = version
+                    if msg.sender > 0xFFFF:
+                        self._rx_versions[format_endpoint(msg.sender)] = version
                 if isinstance(msg, (ClientPut, ClientGet, ClientStatus)):
                     reply = await self.handle_client(msg)
                     writer.write(self.codec.frame(reply))
                     await writer.drain()
                 elif self.actor is not None and self.actor.alive:
                     self.actor.receive(msg)
-                try:
-                    head = await reader.readexactly(4)
-                except (asyncio.IncompleteReadError, ConnectionError):
-                    head = None
+        except CodecError:
+            pass  # oversized frame: drop the connection
         except (OSError, ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -259,8 +277,26 @@ class NodeDaemon:
             "ok": True,
             "endpoint": f"{self.host}:{self.port}",
             "uptime_s": round(self.uptime(), 3),
-            "codec_version": WIRE_VERSION,
+            "codec_version": self.codec.version,
         }
+
+    def codec_snapshot(self) -> Dict[str, Any]:
+        """Per-connection codec state for the status verb.
+
+        ``version`` is what this daemon encodes; ``rx_peer_versions``
+        is the wire format each peer was *observed* sending (from the
+        version byte of decoded frames); ``tx_connections`` is the
+        transmit side per destination.  In a mixed-version localnet the
+        observed maps are how you see who still speaks v1.
+        """
+        snapshot: Dict[str, Any] = {
+            "version": self.codec.version,
+            "accepts": sorted(self.codec.accepted_versions),
+            "rx_peer_versions": dict(self._rx_versions),
+        }
+        if self.transport is not None:
+            snapshot["tx_connections"] = self.transport.connection_info()
+        return snapshot
 
     async def handle_client(self, msg: Message) -> ClientReply:
         return ClientReply(ok=False, error=f"unsupported verb {type(msg).__name__}")
@@ -281,8 +317,9 @@ class PeerNode(NodeDaemon):
         seed: int = 0,
         capacity: float = 1.0,
         interest: Optional[str] = None,
+        codec_version: int = WIRE_VERSION,
     ) -> None:
-        super().__init__(host, port, config, seed)
+        super().__init__(host, port, config, seed, codec_version=codec_version)
         self.capacity = capacity
         self.interest = interest
         self.queries = QueryRegistry()
@@ -386,7 +423,8 @@ class PeerNode(NodeDaemon):
             "keys_stored": len(p.database),
             "messages_received": p.messages_received,
             "uptime_s": round(self.uptime(), 3),
-            "codec_version": WIRE_VERSION,
+            "codec_version": self.codec.version,
+            "codec": self.codec_snapshot(),
         }
 
     def health_snapshot(self) -> Dict[str, Any]:

@@ -1,14 +1,19 @@
-"""Wire codec: every registered message round-trips exactly.
+"""Wire codec: every registered message round-trips exactly, twice over.
 
 The property test derives a value strategy from each dataclass field's
-type annotation -- the same annotations the codec derives its revivers
-from -- so any annotation shape a future message introduces that the
-codec cannot round-trip shows up here as a failing example.
+type annotation -- the same annotations the codec derives its v1
+revivers *and* v2 struct packers from -- so any annotation shape a
+future message introduces that either body format cannot round-trip
+shows up here as a failing example.  Every round-trip property runs
+under both wire versions; cross-version tests pin down that a strict
+decoder *rejects* a foreign frame with :class:`CodecError` rather than
+misparsing it.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import struct
 from typing import Any, Optional, Tuple, Union, get_args, get_origin, get_type_hints
 
 import pytest
@@ -17,13 +22,18 @@ from hypothesis import strategies as st
 
 from repro.overlay.messages import (
     FloodQuery,
+    Hello,
     Message,
     RoleHandoff,
+    ServerJoin,
     ServerJoinReply,
     wire_types,
 )
 from repro.runtime.client import client_types, runtime_codec
 from repro.runtime.codec import (
+    WIRE_V1,
+    WIRE_V2,
+    WIRE_VERSION,
     CodecError,
     default_codec,
     format_endpoint,
@@ -31,7 +41,8 @@ from repro.runtime.codec import (
     unpack_endpoint,
 )
 
-CODEC = runtime_codec()
+CODEC = runtime_codec()  # encodes v2, decodes both
+CODEC_V1 = runtime_codec(version=WIRE_V1)  # encodes v1, decodes both
 ALL_CLASSES = tuple(wire_types()) + tuple(client_types())
 
 # Boundary ids the protocol actually produces: the id space is 32-bit.
@@ -88,18 +99,39 @@ def messages(draw: st.DrawFn) -> Message:
 
 @settings(max_examples=300, deadline=None)
 @given(messages())
-def test_roundtrip_equals(msg: Message) -> None:
+def test_roundtrip_equals_v2(msg: Message) -> None:
     decoded = CODEC.decode(CODEC.encode(msg))
     assert decoded == msg
     assert decoded.sender == msg.sender
     assert decoded.hop_count == msg.hop_count
 
 
+@settings(max_examples=300, deadline=None)
+@given(messages())
+def test_roundtrip_equals_v1(msg: Message) -> None:
+    decoded = CODEC_V1.decode(CODEC_V1.encode(msg))
+    assert decoded == msg
+    assert decoded.sender == msg.sender
+    assert decoded.hop_count == msg.hop_count
+
+
+@settings(max_examples=100, deadline=None)
+@given(messages())
+def test_cross_version_interop(msg: Message) -> None:
+    """A default codec decodes the other default codec's frames."""
+    assert CODEC.decode(CODEC_V1.encode(msg)) == msg
+    assert CODEC_V1.decode(CODEC.encode(msg)) == msg
+
+
 @given(messages())
 @settings(max_examples=50, deadline=None)
 def test_frame_strips_to_payload(msg: Message) -> None:
-    frame = CODEC.frame(msg)
-    assert CODEC.decode(frame[4:]) == msg
+    for codec in (CODEC, CODEC_V1):
+        frame = codec.frame(msg)
+        assert CODEC.decode(frame[4:]) == msg
+        # decode takes any bytes-like; memoryview is the zero-copy path
+        # the daemons actually use.
+        assert CODEC.decode(memoryview(frame)[4:]) == msg
 
 
 def test_every_class_roundtrips_empty() -> None:
@@ -107,14 +139,27 @@ def test_every_class_roundtrips_empty() -> None:
     for cls in ALL_CLASSES:
         msg = cls()
         assert CODEC.decode(CODEC.encode(msg)) == msg
+        assert CODEC.decode(CODEC_V1.encode(msg)) == msg
+
+
+def test_every_class_has_v2_layout() -> None:
+    """Every *current* message compiles a struct plan (no JSON fallback).
+
+    If a future message's annotations defeat the packer derivation it
+    still ships (as v1) -- but it should be a deliberate choice, so
+    this test forces the author to look.
+    """
+    for cls in ALL_CLASSES:
+        assert CODEC.has_v2_layout(cls), f"{cls.__name__} fell back to v1"
 
 
 def test_boundary_ids_roundtrip() -> None:
-    for p_id in ID_BOUNDARIES:
-        msg = ServerJoinReply(role="t", p_id=p_id, entry_peer=p_id)
-        assert CODEC.decode(CODEC.encode(msg)).p_id == p_id
-        q = FloodQuery(d_id=p_id, key="k", origin=3, query_id=p_id, ttl=1)
-        assert CODEC.decode(CODEC.encode(q)).d_id == p_id
+    for codec in (CODEC, CODEC_V1):
+        for p_id in ID_BOUNDARIES:
+            msg = ServerJoinReply(role="t", p_id=p_id, entry_peer=p_id)
+            assert CODEC.decode(codec.encode(msg)).p_id == p_id
+            q = FloodQuery(d_id=p_id, key="k", origin=3, query_id=p_id, ttl=1)
+            assert CODEC.decode(codec.encode(q)).d_id == p_id
 
 
 def test_nested_tuples_revive_as_tuples() -> None:
@@ -124,11 +169,12 @@ def test_nested_tuples_revive_as_tuples() -> None:
         items=(("k", b"v", 9),),
         s_neighbors=(5, 6),
     )
-    decoded = CODEC.decode(CODEC.encode(msg))
-    assert decoded == msg
-    assert isinstance(decoded.fingers, tuple)
-    assert all(isinstance(f, tuple) for f in decoded.fingers)
-    assert decoded.items[0][1] == b"v"
+    for codec in (CODEC, CODEC_V1):
+        decoded = CODEC.decode(codec.encode(msg))
+        assert decoded == msg
+        assert isinstance(decoded.fingers, tuple)
+        assert all(isinstance(f, tuple) for f in decoded.fingers)
+        assert decoded.items[0][1] == b"v"
 
 
 def test_type_ids_stable() -> None:
@@ -138,6 +184,92 @@ def test_type_ids_stable() -> None:
         assert a.type_id_of(cls) == b.type_id_of(cls)
 
 
+# ----------------------------------------------------------------------
+# Version handling: strict decoders reject, never misparse
+# ----------------------------------------------------------------------
+def test_default_encodes_v2() -> None:
+    assert CODEC.version == WIRE_VERSION == WIRE_V2
+    payload = CODEC.encode(Hello())
+    assert payload[0] == WIRE_V2
+    assert CODEC_V1.encode(Hello())[0] == WIRE_V1
+
+
+@settings(max_examples=100, deadline=None)
+@given(messages())
+def test_strict_v2_rejects_v1_frames(msg: Message) -> None:
+    strict = runtime_codec(accept=(WIRE_V2,))
+    with pytest.raises(CodecError):
+        strict.decode(CODEC_V1.encode(msg))
+    # and it still decodes its own format
+    assert strict.decode(CODEC.encode(msg)) == msg
+
+
+@settings(max_examples=100, deadline=None)
+@given(messages())
+def test_strict_v1_rejects_v2_frames(msg: Message) -> None:
+    strict = runtime_codec(version=WIRE_V1, accept=(WIRE_V1,))
+    with pytest.raises(CodecError):
+        strict.decode(CODEC.encode(msg))
+    assert strict.decode(CODEC_V1.encode(msg)) == msg
+
+
+def test_unknown_versions_rejected() -> None:
+    with pytest.raises(CodecError):
+        runtime_codec(version=3)
+    with pytest.raises(CodecError):
+        runtime_codec(accept=(1, 7))
+    with pytest.raises(CodecError):
+        runtime_codec(accept=())
+
+
+def test_per_message_version_override() -> None:
+    msg = Hello()
+    assert CODEC.encode(msg, version=WIRE_V1)[0] == WIRE_V1
+    assert CODEC_V1.encode(msg, version=WIRE_V2)[0] == WIRE_V2
+    with pytest.raises(CodecError):
+        CODEC.encode(msg, version=9)
+
+
+# ----------------------------------------------------------------------
+# v2 fallback cases: values the packed layout cannot carry
+# ----------------------------------------------------------------------
+def test_i64_overflow_falls_back_to_v1() -> None:
+    """An int beyond 64 bits cannot ride `!q`; the frame ships as v1."""
+    msg = ServerJoin(address=2**80, capacity=1.0)
+    payload = CODEC.encode(msg)
+    assert payload[0] == WIRE_V1
+    assert CODEC.decode(payload).address == 2**80
+
+
+def test_unknown_annotation_shape_falls_back_to_v1() -> None:
+    """A class the plan compiler cannot derive still works -- via v1."""
+
+    @dataclasses.dataclass(slots=True)
+    class Odd(Message):
+        table: Tuple[Tuple[str, ...], ...] = ()  # nested variadic: fine
+        weird: Optional[Tuple[int, str]] = None
+
+    @dataclasses.dataclass(slots=True)
+    class Stranger(Message):
+        # dict annotation: not derivable, whole class falls back
+        mapping: dict = dataclasses.field(default_factory=dict)
+
+    codec = runtime_codec()
+    codec.register(Odd, 1000)
+    codec.register(Stranger, 1001)
+    assert codec.has_v2_layout(Odd)
+    assert not codec.has_v2_layout(Stranger)
+    odd = Odd(table=(("a", "b"), ()), weird=(3, "x"))
+    assert codec.decode(codec.encode(odd)) == odd
+    stranger = Stranger(mapping={"k": [1, 2]})
+    payload = codec.encode(stranger)
+    assert payload[0] == WIRE_V1  # v2 codec, but the class has no plan
+    assert codec.decode(payload) == stranger
+
+
+# ----------------------------------------------------------------------
+# Corruption: truncations and garbage raise, never misparse
+# ----------------------------------------------------------------------
 def test_decode_rejects_garbage() -> None:
     with pytest.raises(CodecError):
         CODEC.decode(b"")
@@ -145,9 +277,42 @@ def test_decode_rejects_garbage() -> None:
         CODEC.decode(b"\x63" + b"\x00\x01" + b"[]")  # bad version
     with pytest.raises(CodecError):
         CODEC.decode(b"\x01" + b"\xff\xff" + b"[]")  # unknown type id
-    good = CODEC.encode(FloodQuery())
+    good_v1 = CODEC_V1.encode(FloodQuery())
     with pytest.raises(CodecError):
-        CODEC.decode(good[:-2] + b"!!")  # corrupt JSON body
+        CODEC.decode(good_v1[:-2] + b"!!")  # corrupt JSON body
+    good_v2 = CODEC.encode(FloodQuery())
+    with pytest.raises(CodecError):
+        CODEC.decode(good_v2 + b"xx")  # trailing bytes after the plan
+
+
+def test_v2_truncations_never_misparse() -> None:
+    """Every proper prefix of a v2 frame raises (variable fields
+    bounds-check explicitly -- memoryview slicing would otherwise
+    truncate silently)."""
+    msg = RoleHandoff(
+        p_id=7,
+        fingers=((1, 2), (3, 4)),
+        items=(("key", {"nested": [1, None]}, 9),),
+        s_neighbors=(5, 6),
+    )
+    msg.sender = pack_endpoint("127.0.0.1", 4242)
+    payload = CODEC.encode(msg)
+    assert payload[0] == WIRE_V2
+    for cut in range(len(payload)):
+        with pytest.raises(CodecError):
+            CODEC.decode(payload[:cut])
+
+
+def test_v2_absurd_tuple_count_rejected() -> None:
+    """A forged element count larger than the body cannot allocate."""
+    msg = RoleHandoff(p_id=1, fingers=((1, 2),), s_neighbors=(9,))
+    payload = bytearray(CODEC.encode(msg))
+    # Layout: 3-byte head, 7 fixed i64s (sender..successor_pid), then
+    # the fingers element count.
+    count_at = 3 + 7 * 8
+    payload[count_at : count_at + 4] = struct.pack("!I", 2**31)
+    with pytest.raises(CodecError):
+        CODEC.decode(bytes(payload))
 
 
 def test_unregistered_class_rejected() -> None:
