@@ -12,9 +12,12 @@ Three measurements, each run once per wire version:
   reflects the full wire path: encode-once fan-out, write coalescing,
   kernel round-trip, zero-copy decode.
 * **localnet put/get** -- client-verb ops/sec against a small
-  :class:`LocalNet`.  Reported for completeness; it is latency-bound
-  (lookup polling, protocol timers), not codec-bound, so both versions
-  score similarly.
+  :class:`LocalNet`, over one persistent pipelined
+  :class:`ClientConnection`: serial (one op in flight, pure service
+  latency) and pipelined (64 in flight, saturation throughput).  The
+  deeper open/closed-loop latency study lives in ``repro
+  bench-clients`` / ``BENCH_clientpath.json``; this bench keeps the
+  per-codec-version numbers comparable across PRs.
 
 The medium mix is flood-weighted to match the paper's workload: the
 s-network answers lookups by flooding, so on the wire, query fan-out
@@ -61,6 +64,7 @@ from repro.runtime import (
     WIRE_V1,
     WIRE_V2,
     AioTransport,
+    ClientConnection,
     ClientGet,
     ClientPut,
     LocalNet,
@@ -237,27 +241,43 @@ async def _localnet_ops(version: int, ops: int) -> Dict[str, float]:
     try:
         await net.wait_converged(timeout=30)
         node = net.nodes[0]
-        t0 = time.perf_counter()
-        for i in range(ops):
-            reply = await acall(
-                node.host, node.port,
-                ClientPut(key=f"bench/{i}", value=f"value-{i}"),
-            )
-            assert reply.ok, reply.error
-        put_wall = time.perf_counter() - t0
+        async with ClientConnection(node.host, node.port) as conn:
+            t0 = time.perf_counter()
+            for i in range(ops):
+                reply = await conn.request(
+                    ClientPut(key=f"bench/{i}", value=f"value-{i}")
+                )
+                assert reply.ok, reply.error
+            put_wall = time.perf_counter() - t0
         await asyncio.sleep(0.3)  # let spreads land before reading back
         reader_node = net.nodes[-1]
-        t0 = time.perf_counter()
-        for i in range(ops):
-            reply = await acall(
-                reader_node.host, reader_node.port,
-                ClientGet(key=f"bench/{i}"), timeout=15,
-            )
-            assert reply.ok, reply.error
-        get_wall = time.perf_counter() - t0
+        async with ClientConnection(reader_node.host, reader_node.port) as conn:
+            t0 = time.perf_counter()
+            for i in range(ops):
+                reply = await conn.request(
+                    ClientGet(key=f"bench/{i}"), timeout=15
+                )
+                assert reply.ok, reply.error
+            get_wall = time.perf_counter() - t0
+
+            # Saturation: the same gets with 64 permanently in flight.
+            pipelined = ops * 10
+            sem = asyncio.Semaphore(64)
+
+            async def one(i: int) -> None:
+                async with sem:
+                    reply = await conn.request(
+                        ClientGet(key=f"bench/{i % ops}"), timeout=15
+                    )
+                    assert reply.ok, reply.error
+
+            t0 = time.perf_counter()
+            await asyncio.gather(*(one(i) for i in range(pipelined)))
+            pipelined_wall = time.perf_counter() - t0
         return {
             "put_ops_per_s": ops / put_wall,
             "get_ops_per_s": ops / get_wall,
+            "pipelined_get_ops_per_s": pipelined / pipelined_wall,
         }
     finally:
         await net.stop()
@@ -413,11 +433,13 @@ async def _full(args: argparse.Namespace) -> dict:
         ops[f"v{version}"] = {k: round(v, 1) for k, v in r.items()}
         print(
             f"  v{version}: {r['put_ops_per_s']:,.0f} puts/s, "
-            f"{r['get_ops_per_s']:,.0f} gets/s"
+            f"{r['get_ops_per_s']:,.0f} serial gets/s, "
+            f"{r['pipelined_get_ops_per_s']:,.0f} pipelined gets/s"
         )
     ops["note"] = (
-        "latency-bound (lookup polling + protocol timers), not codec-bound; "
-        "included to show v2 does not regress the client path"
+        "one persistent pipelined ClientConnection; serial = one op in "
+        "flight (service latency), pipelined = 64 in flight (saturation); "
+        "event-driven lookup completion, no poll loop"
     )
     result["localnet_ops"] = ops
 
@@ -442,8 +464,9 @@ def main(argv=None) -> int:
                         help="mix broadcasts per pump repeat (default: 1500)")
     parser.add_argument("--micro-rounds", type=int, default=10_000,
                         help="mix rounds per codec-micro repeat (default: 10000)")
-    parser.add_argument("--ops", type=int, default=40,
-                        help="put/get ops in the localnet bench (default: 40)")
+    parser.add_argument("--ops", type=int, default=400,
+                        help="serial put/get ops in the localnet bench; the "
+                        "pipelined pass runs 10x this (default: 400)")
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_runtime.json")
     args = parser.parse_args(argv)

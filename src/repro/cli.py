@@ -26,7 +26,9 @@ Live-runtime verbs (real TCP; see :mod:`repro.runtime`):
   node's metrics-registry snapshot);
 * ``repro top --node HOST:PORT`` -- refreshing table of frame/lookup
   rates and hop/latency p50/p99 scraped from the node's ``/metrics.json``
-  endpoint (see docs/OBSERVABILITY.md).
+  endpoint (see docs/OBSERVABILITY.md);
+* ``repro bench-clients`` -- open/closed-loop client-path load
+  generator (:mod:`repro.loadgen`); ``--smoke`` is the CI gate.
 
 Every simulator command takes ``--seed``; runs are bit-reproducible.
 """
@@ -151,6 +153,40 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seconds between scrapes")
     top.add_argument("--count", type=int, default=0,
                      help="number of frames to render (0 = until ^C)")
+
+    bench = sub.add_parser(
+        "bench-clients",
+        help="drive concurrent clients against live nodes, report latency",
+    )
+    bench.add_argument(
+        "--node", action="append", metavar="HOST:PORT", default=None,
+        help="target node (repeatable; omit to boot an in-process localnet)",
+    )
+    bench.add_argument("--clients", type=int, default=4,
+                       help="persistent client connections")
+    bench.add_argument("--pipeline", type=int, default=16,
+                       help="concurrent in-flight ops per connection "
+                       "(closed loop)")
+    bench.add_argument("--duration", type=float, default=5.0,
+                       help="measured seconds (after warmup)")
+    bench.add_argument("--warmup", type=float, default=0.5,
+                       help="seconds driven but not recorded")
+    bench.add_argument("--get-fraction", type=float, default=0.9,
+                       help="fraction of ops that are gets (rest are puts)")
+    bench.add_argument("--keyspace", type=int, default=256,
+                       help="distinct keys (pre-stored before the run)")
+    bench.add_argument("--rate", type=float, default=None,
+                       help="open-loop dispatch rate in total ops/s "
+                       "(default: closed loop)")
+    bench.add_argument("--timeout", type=float, default=10.0)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--output", metavar="FILE", default=None,
+                       help="append the result JSON to FILE "
+                       "(e.g. BENCH_clientpath.json)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="CI mode: short run against an in-process "
+                       "localnet, exit 1 unless get throughput clears "
+                       "10x the polling-era baseline with zero errors")
 
     return parser
 
@@ -437,6 +473,73 @@ def _cmd_status(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_bench_clients(args: argparse.Namespace) -> int:
+    from .loadgen import (
+        POLLING_ERA_GET_OPS,
+        LoadSpec,
+        run_against_localnet,
+        run_load_sync,
+        smoke_result_ok,
+    )
+
+    spec_kwargs = dict(
+        clients=args.clients,
+        pipeline=args.pipeline,
+        duration=args.duration,
+        warmup=args.warmup,
+        get_fraction=args.get_fraction,
+        keyspace=args.keyspace,
+        rate=args.rate,
+        timeout=args.timeout,
+        seed=args.seed,
+    )
+    if args.smoke:
+        # CI sizing: short window, modest concurrency, in-process nodes.
+        spec_kwargs.update(duration=2.0, warmup=0.3)
+    if args.node:
+        endpoints = [_parse_endpoint(text) for text in args.node]
+        result = run_load_sync(LoadSpec(endpoints=endpoints, **spec_kwargs))
+    else:
+        import asyncio
+
+        result = asyncio.run(
+            run_against_localnet(spec_kwargs, t_peers=2, s_peers=1, seed=args.seed + 5)
+        )
+    print(result)
+    if args.output:
+        _append_bench_record(args.output, result.to_dict())
+    if args.smoke:
+        problems = smoke_result_ok(result, min_get_ops=10 * POLLING_ERA_GET_OPS)
+        for problem in problems:
+            print(f"smoke FAIL: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"smoke OK: {result.get_throughput_ops:.1f} get ops/s "
+            f"(>= {10 * POLLING_ERA_GET_OPS:.0f}), zero errors",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _append_bench_record(path: str, record: dict) -> None:
+    """Append one run to a JSON file holding a list of runs."""
+    import os
+
+    runs = []
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+            runs = existing if isinstance(existing, list) else [existing]
+        except (OSError, ValueError):
+            runs = []
+    runs.append(record)
+    with open(path, "w") as fh:
+        json.dump(runs, fh, indent=2)
+        fh.write("\n")
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from .obs import run_top
 
@@ -462,6 +565,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "get": _cmd_get,
         "status": _cmd_status,
         "top": _cmd_top,
+        "bench-clients": _cmd_bench_clients,
     }[args.command]
     return handler(args)
 

@@ -16,6 +16,7 @@ conventions.
 from .bridge import MEMBERSHIP_CATEGORIES, TraceBridge, declare_protocol_metrics
 from .prom import CONTENT_TYPE_PROM, handle_http_request, render_json, render_prometheus
 from .registry import (
+    DEFAULT_CLIENT_LATENCY_MS_BUCKETS,
     DEFAULT_CONTACT_BUCKETS,
     DEFAULT_FANOUT_BUCKETS,
     DEFAULT_HOP_BUCKETS,
@@ -36,6 +37,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_HOP_BUCKETS",
     "DEFAULT_LATENCY_MS_BUCKETS",
+    "DEFAULT_CLIENT_LATENCY_MS_BUCKETS",
     "DEFAULT_CONTACT_BUCKETS",
     "DEFAULT_FANOUT_BUCKETS",
     "TraceBridge",

@@ -31,6 +31,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_HOP_BUCKETS",
     "DEFAULT_LATENCY_MS_BUCKETS",
+    "DEFAULT_CLIENT_LATENCY_MS_BUCKETS",
     "DEFAULT_CONTACT_BUCKETS",
     "DEFAULT_FANOUT_BUCKETS",
 ]
@@ -41,6 +42,13 @@ __all__ = [
 DEFAULT_HOP_BUCKETS: Tuple[float, ...] = (0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24)
 DEFAULT_LATENCY_MS_BUCKETS: Tuple[float, ...] = (
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000, 60_000
+)
+# Client ops on a localhost/LAN cluster complete in fractions of a
+# millisecond once the lookup path is event-driven, so this ladder
+# starts two decades below the protocol-latency one.
+DEFAULT_CLIENT_LATENCY_MS_BUCKETS: Tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1_000,
+    2_500, 5_000, 10_000,
 )
 DEFAULT_CONTACT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 DEFAULT_FANOUT_BUCKETS: Tuple[float, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16)

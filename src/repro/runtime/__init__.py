@@ -21,7 +21,16 @@ on its protocol port (see :mod:`repro.obs` and docs/OBSERVABILITY.md).
 
 from .aio_transport import AioTransport
 from .bootstrap import BootstrapNode
-from .client import ClientGet, ClientPut, ClientReply, ClientStatus, acall, call, runtime_codec
+from .client import (
+    ClientConnection,
+    ClientGet,
+    ClientPut,
+    ClientReply,
+    ClientStatus,
+    acall,
+    call,
+    runtime_codec,
+)
 from .codec import (
     WIRE_V1,
     WIRE_V2,
@@ -40,6 +49,7 @@ from .node import NodeDaemon, PeerNode, RuntimePeer
 __all__ = [
     "AioTransport",
     "BootstrapNode",
+    "ClientConnection",
     "ClientGet",
     "ClientPut",
     "ClientReply",

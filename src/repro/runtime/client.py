@@ -1,4 +1,4 @@
-"""Client verbs: request/reply messages between the CLI and a live node.
+"""Client verbs: correlated request/reply messages to a live node.
 
 Protocol frames are fire-and-forget -- a peer never answers on the same
 connection it received from.  The client verbs are different: ``put`` /
@@ -8,23 +8,35 @@ arrived on.  They reuse the exact same codec and framing as protocol
 messages but register in the reserved type-id band at
 :data:`~repro.runtime.codec.CLIENT_TYPE_BASE` so they can never collide
 with :func:`~repro.overlay.messages.wire_types` growth.
+
+**Request correlation** -- every request carries a connection-scoped
+``request_id``, echoed verbatim on its :class:`ClientReply`.  The node
+answers each request as it resolves, *not* in arrival order, so one TCP
+connection can carry many concurrent in-flight operations
+(:class:`ClientConnection` multiplexes them: futures keyed by request
+id, completed out of order as replies land).  ``request_id 0`` is the
+uncorrelated sentinel: a reply carrying it is matched to the oldest
+in-flight request, which keeps a new client interoperable with a
+pre-correlation node that answers serially.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from ..overlay.messages import Message
-from .codec import CLIENT_TYPE_BASE, WIRE_VERSION, MessageCodec, default_codec
-from .aio_transport import read_frame
+from .codec import CLIENT_TYPE_BASE, WIRE_VERSION, CodecError, MessageCodec, default_codec
+from .aio_transport import frame_stream
 
 __all__ = [
     "ClientPut",
     "ClientGet",
     "ClientStatus",
     "ClientReply",
+    "ClientConnection",
     "client_types",
     "runtime_codec",
     "acall",
@@ -38,6 +50,7 @@ class ClientPut(Message):
 
     key: str = ""
     value: Any = None
+    request_id: int = 0  # connection-scoped correlation id (0 = none)
 
 
 @dataclass(slots=True)
@@ -45,6 +58,7 @@ class ClientGet(Message):
     """Look ``key`` up through the overlay; reply carries the value."""
 
     key: str = ""
+    request_id: int = 0  # connection-scoped correlation id (0 = none)
 
 
 @dataclass(slots=True)
@@ -57,15 +71,21 @@ class ClientStatus(Message):
     """
 
     include_metrics: bool = False
+    request_id: int = 0  # connection-scoped correlation id (0 = none)
 
 
 @dataclass(slots=True)
 class ClientReply(Message):
-    """Uniform answer: ``ok`` plus either a payload or an error string."""
+    """Uniform answer: ``ok`` plus either a payload or an error string.
+
+    ``request_id`` echoes the request's correlation id so a pipelined
+    connection can match out-of-order replies to their requests.
+    """
 
     ok: bool = False
     payload: Any = None
     error: Optional[str] = None
+    request_id: int = 0
 
 
 def client_types() -> tuple:
@@ -89,32 +109,175 @@ def runtime_codec(
     return codec
 
 
+class ClientConnection:
+    """One persistent TCP connection multiplexing concurrent client ops.
+
+    Requests are assigned connection-scoped ids and written to the
+    socket immediately; a single background reader task completes the
+    matching future as each :class:`ClientReply` lands -- in whatever
+    order the node resolves them.  Many coroutines may call
+    :meth:`request` concurrently on the same connection; nothing is
+    serialized but the socket writes themselves (each frame is one
+    ``write`` call, so frames never interleave).
+
+    Use as an async context manager, or ``connect()`` / ``aclose()``
+    explicitly::
+
+        async with ClientConnection(host, port) as conn:
+            replies = await asyncio.gather(
+                *(conn.request(ClientGet(key=k)) for k in keys)
+            )
+
+    On EOF, a decode error, or :meth:`aclose`, every in-flight future
+    is failed with :class:`ConnectionError` -- futures never leak.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        codec: Optional[MessageCodec] = None,
+        timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.codec = codec if codec is not None else runtime_codec()
+        self._ids = itertools.count(1)  # 0 is the uncorrelated sentinel
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    async def connect(self, timeout: Optional[float] = None) -> "ClientConnection":
+        """Open the socket and start the reply reader; idempotent."""
+        if self._writer is not None:
+            return self
+        if self._closed:
+            raise ConnectionError("connection already closed")
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            self.timeout if timeout is None else timeout,
+        )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_replies(), name=f"client-conn-{self.host}:{self.port}"
+        )
+        return self
+
+    async def __aenter__(self) -> "ClientConnection":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.aclose()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently awaiting their reply."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    async def request(self, msg: Message, timeout: Optional[float] = None) -> ClientReply:
+        """Send one client verb; await its (possibly out-of-order) reply."""
+        if self._writer is None or self._closed:
+            raise ConnectionError(
+                f"connection to {self.host}:{self.port} is not open"
+            )
+        rid = next(self._ids)
+        msg.request_id = rid
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        try:
+            self._writer.write(self.codec.frame(msg))
+            await self._writer.drain()
+            return await asyncio.wait_for(
+                future, self.timeout if timeout is None else timeout
+            )
+        finally:
+            self._pending.pop(rid, None)
+
+    async def _read_replies(self) -> None:
+        assert self._reader is not None
+        error: Optional[BaseException] = None
+        try:
+            async for payload in frame_stream(self._reader):
+                try:
+                    reply = self.codec.decode(payload)
+                except CodecError as exc:
+                    error = ConnectionError(f"undecodable reply frame: {exc}")
+                    break
+                if not isinstance(reply, ClientReply):
+                    continue  # foreign frame on a client connection: skip
+                future = self._pending.pop(reply.request_id, None)
+                if future is None and reply.request_id == 0 and self._pending:
+                    # Pre-correlation node: it answers strictly in
+                    # arrival order, so the oldest in-flight request
+                    # owns this reply (dicts iterate in insert order).
+                    future = self._pending.pop(next(iter(self._pending)))
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (OSError, ConnectionError, asyncio.CancelledError) as exc:
+            error = exc
+        finally:
+            # The reply stream is gone, so the connection is unusable:
+            # mark it closed so later request() calls fail fast instead
+            # of writing into a dead socket and timing out.
+            self._closed = True
+            if self._writer is not None:
+                self._writer.close()
+            self._fail_pending(error)
+
+    def _fail_pending(self, cause: Optional[BaseException]) -> None:
+        """Fail every in-flight future (connection is gone)."""
+        pending, self._pending = self._pending, {}
+        if not pending:
+            return
+        exc = ConnectionError(
+            f"{self.host}:{self.port} closed with "
+            f"{len(pending)} request(s) in flight"
+        )
+        if cause is not None and not isinstance(cause, asyncio.CancelledError):
+            exc.__cause__ = cause
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Close the socket; in-flight requests get ConnectionError.
+
+        Idempotent, and safe after the reader task already declared the
+        connection dead (each teardown step checks its own state).
+        """
+        self._closed = True
+        task, self._reader_task = self._reader_task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        writer, self._writer = self._writer, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+        self._fail_pending(None)
+
+
 async def acall(
     host: str, port: int, msg: Message, timeout: float = 10.0
 ) -> ClientReply:
-    """Send one client verb to a node and await its :class:`ClientReply`."""
-    codec = runtime_codec()
-    reader, writer = await asyncio.wait_for(
-        asyncio.open_connection(host, port), timeout
-    )
+    """One-shot convenience: connect, send one verb, await the reply."""
+    conn = ClientConnection(host, port, timeout=timeout)
+    await conn.connect()
     try:
-        writer.write(codec.frame(msg))
-        await asyncio.wait_for(writer.drain(), timeout)
-        payload = await asyncio.wait_for(read_frame(reader), timeout)
-        if payload is None:
-            raise ConnectionError(f"{host}:{port} closed without replying")
-        reply = codec.decode(payload)
-        if not isinstance(reply, ClientReply):
-            raise ConnectionError(
-                f"expected ClientReply, got {type(reply).__name__}"
-            )
-        return reply
+        return await conn.request(msg, timeout)
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (OSError, ConnectionError):
-            pass
+        await conn.aclose()
 
 
 def call(host: str, port: int, msg: Message, timeout: float = 10.0) -> ClientReply:

@@ -11,16 +11,20 @@ This is the daemon the ``repro node`` CLI verb runs.  It owns:
   protocol frames;
 * the inbound dispatch loop: protocol frames go straight to
   ``peer.receive``; client verbs (:mod:`repro.runtime.client`) are
-  answered with a :class:`ClientReply` on the same connection.
+  answered with a :class:`ClientReply` on the same connection -- each
+  request in its own task, replies written **as they resolve** (not in
+  arrival order), correlated by the request id the client stamped.
 
 The protocol object itself is the *unmodified* simulator class --
-:class:`RuntimePeer` only adds value capture for ``get`` replies.
+:class:`RuntimePeer` only adds value capture for ``get`` replies and
+completion hooks (join / lookup) so client waiters resolve on the event
+that completes them instead of polling.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 import numpy as np
 
@@ -29,7 +33,7 @@ from ..core.hybridpeer import HybridPeer
 from ..core.lookup import PENDING, SUCCESS, QueryRegistry
 from ..obs.bridge import TraceBridge
 from ..obs.prom import handle_http_request
-from ..obs.registry import MetricsRegistry
+from ..obs.registry import DEFAULT_CLIENT_LATENCY_MS_BUCKETS, MetricsRegistry
 from ..overlay.idspace import IdSpace
 from ..overlay.messages import DataFound, Message
 from ..sim.trace import TraceBus
@@ -49,6 +53,26 @@ _HTTP_PREFIXES = (b"GET ", b"HEAD")
 # Bound on the HTTP request head we are willing to buffer.
 _MAX_HTTP_HEAD = 8192
 
+# Sentinel distinguishing "no DataFound value captured for this query"
+# from a legitimately stored None value.
+_NO_VALUE = object()
+
+
+def _query_id_block(address: int) -> int:
+    """Start of this node's disjoint query-id block.
+
+    Flood dedup keys on ``(query_id, attempt)`` with no origin field,
+    so live nodes must never reuse each other's query ids (the
+    simulator's shared registry makes them globally unique for free).
+    Each node claims a 2^32-id block whose index is a 30-bit mix of its
+    packed endpoint, keeping every id inside the codec's signed 64-bit
+    int while making cross-node collisions require a 30-bit hash
+    collision instead of being guaranteed.
+    """
+    h = (address * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 32
+    return (h & 0x3FFFFFFF) << 32
+
 
 class RuntimePeer(HybridPeer):
     """HybridPeer that keeps answer values for the client-facing ``get``.
@@ -57,16 +81,28 @@ class RuntimePeer(HybridPeer):
     not payloads (the paper's metrics don't need them); a live ``get``
     does, so the value riding on :class:`DataFound` is stashed per
     query id before normal processing.
+
+    It also exposes ``join_callbacks``: fired (once each, then cleared)
+    the instant the join handshake completes, so the daemon's
+    :meth:`PeerNode.join` resolves on the completing message instead of
+    polling ``joined`` on a timer.
     """
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.found_values: Dict[int, Any] = {}
+        self.join_callbacks: List[Callable[[], None]] = []
 
     def on_DataFound(self, msg: DataFound) -> None:
         if msg.query_id in self.pending_lookups:
             self.found_values[msg.query_id] = msg.value
         super().on_DataFound(msg)
+
+    def _complete_join(self) -> None:
+        super()._complete_join()
+        callbacks, self.join_callbacks = self.join_callbacks, []
+        for callback in callbacks:
+            callback()
 
 
 class NodeDaemon:
@@ -128,6 +164,23 @@ class NodeDaemon:
         # Inbound connections stay open as long as the remote's pooled
         # transport wants them; tracked so stop() can reap them all.
         self._inbound: Dict[asyncio.Task, asyncio.StreamWriter] = {}
+        # Client ops currently being resolved (each is its own task, so
+        # one slow lookup never blocks the other requests pipelined on
+        # the same connection).  The set mirrors the per-connection
+        # tracking so stop() can reap stragglers.
+        self._client_inflight = 0
+        self._client_tasks: Set[asyncio.Task] = set()
+        self._client_latency_fam = self.registry.histogram(
+            "repro_client_op_latency_ms",
+            "Client verb service time (request decoded -> reply written)",
+            buckets=DEFAULT_CLIENT_LATENCY_MS_BUCKETS,
+            labelnames=("verb",),
+        )
+        self._client_latency_children: Dict[type, Any] = {}
+        self.registry.gauge(
+            "repro_client_inflight_ops",
+            "Client verbs accepted but not yet answered",
+        ).set_function(lambda: float(self._client_inflight))
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -184,6 +237,14 @@ class NodeDaemon:
             task.cancel()
         if inbound:
             await asyncio.gather(*inbound, return_exceptions=True)
+        # Client ops still resolving (their connections just died):
+        # cancel and await so teardown leaves no dangling tasks.
+        client_tasks = list(self._client_tasks)
+        self._client_tasks.clear()
+        for reply_task in client_tasks:
+            reply_task.cancel()
+        if client_tasks:
+            await asyncio.gather(*client_tasks, return_exceptions=True)
 
     # ------------------------------------------------------------------
     # Inbound
@@ -194,6 +255,9 @@ class NodeDaemon:
         task = asyncio.current_task()
         if task is not None:
             self._inbound[task] = writer
+        # Client requests in flight on *this* connection; cancelled when
+        # the connection dies so an abandoned get cannot leak its task.
+        replies: Set[asyncio.Task] = set()
         try:
             # Sniff the first 4 bytes: an HTTP verb means a scraper (or
             # a human with curl) is on the line; anything else is the
@@ -226,9 +290,18 @@ class NodeDaemon:
                     if msg.sender > 0xFFFF:
                         self._rx_versions[format_endpoint(msg.sender)] = version
                 if isinstance(msg, (ClientPut, ClientGet, ClientStatus)):
-                    reply = await self.handle_client(msg)
-                    writer.write(self.codec.frame(reply))
-                    await writer.drain()
+                    # Pipelining: each request resolves in its own task
+                    # and writes its reply when done -- a slow get never
+                    # holds up the ops queued behind it, and replies may
+                    # legitimately leave out of order (the request id
+                    # correlates them client-side).
+                    reply_task = asyncio.ensure_future(
+                        self._answer_client(msg, writer)
+                    )
+                    replies.add(reply_task)
+                    self._client_tasks.add(reply_task)
+                    reply_task.add_done_callback(replies.discard)
+                    reply_task.add_done_callback(self._client_tasks.discard)
                 elif self.actor is not None and self.actor.alive:
                     self.actor.receive(msg)
         except CodecError:
@@ -238,6 +311,8 @@ class NodeDaemon:
         finally:
             if task is not None:
                 self._inbound.pop(task, None)
+            for reply_task in list(replies):
+                reply_task.cancel()
             try:
                 # close() is enough here -- awaiting wait_closed() inside
                 # a task that stop() may have just cancelled would raise
@@ -245,6 +320,38 @@ class NodeDaemon:
                 writer.close()
             except (OSError, ConnectionError):
                 pass
+
+    async def _answer_client(
+        self, msg: Message, writer: asyncio.StreamWriter
+    ) -> None:
+        """Resolve one client verb and write its correlated reply."""
+        loop = self._loop if self._loop is not None else asyncio.get_running_loop()
+        t0 = loop.time()
+        self._client_inflight += 1
+        try:
+            try:
+                reply = await self.handle_client(msg)
+            except asyncio.CancelledError:
+                raise  # connection died while we were resolving
+            except Exception as exc:  # a handler bug answers, not kills
+                reply = ClientReply(ok=False, error=f"internal error: {exc!r}")
+            reply.request_id = msg.request_id
+            self._observe_client_latency(type(msg), (loop.time() - t0) * 1e3)
+            try:
+                writer.write(self.codec.frame(reply))
+                await writer.drain()
+            except (OSError, ConnectionError):
+                pass  # client went away; nothing to answer
+        finally:
+            self._client_inflight -= 1
+
+    def _observe_client_latency(self, verb_type: type, ms: float) -> None:
+        child = self._client_latency_children.get(verb_type)
+        if child is None:
+            verb = verb_type.__name__.removeprefix("Client").lower()
+            child = self._client_latency_fam.labels(verb)
+            self._client_latency_children[verb_type] = child
+        child.observe(ms)
 
     def _count_rx(self, msg_type: type, nbytes: int) -> None:
         child = self._rx_children.get(msg_type)
@@ -325,6 +432,9 @@ class PeerNode(NodeDaemon):
         self.queries = QueryRegistry()
 
     def _make_actor(self) -> RuntimePeer:
+        # The listen address is final here (ephemeral port resolved by
+        # start()), so the registry can claim this node's id block.
+        self.queries.rebase(_query_id_block(self.address))
         return RuntimePeer(
             address=self.address,
             host=0,
@@ -355,15 +465,26 @@ class PeerNode(NodeDaemon):
 
     # ------------------------------------------------------------------
     async def join(self, timeout: float = 30.0) -> None:
-        """Contact the bootstrap server and wait for the join handshake."""
+        """Contact the bootstrap server and wait for the join handshake.
+
+        Resolution is event-driven: the peer fires its join callbacks
+        the instant the handshake-completing message is processed, so
+        this returns microseconds after the protocol finishes instead
+        of on the next tick of a polling loop.
+        """
+        if self.peer.joined:
+            return
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.peer.join_callbacks.append(
+            lambda: future.done() or future.set_result(None)
+        )
         self.peer.begin_join()
-        deadline = asyncio.get_running_loop().time() + timeout
-        while not self.peer.joined:
-            if asyncio.get_running_loop().time() > deadline:
-                raise TimeoutError(
-                    f"{self.host}:{self.port} did not join within {timeout}s"
-                )
-            await asyncio.sleep(0.02)
+        try:
+            await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"{self.host}:{self.port} did not join within {timeout}s"
+            ) from None
 
     # ------------------------------------------------------------------
     async def handle_client(self, msg: Message) -> ClientReply:
@@ -388,26 +509,54 @@ class PeerNode(NodeDaemon):
         if not self.peer.joined:
             return ClientReply(ok=False, error="node has not joined yet")
         qid = self.peer.lookup(msg.key)
-        # The lookup resolves via the peer's own timers/messages; poll
-        # the registry until it leaves PENDING (bounded by the protocol's
-        # own lookup_timeout plus reflood budget, so no extra deadline).
-        while True:
-            rec = self.queries.get(qid)
-            if rec is None or rec.status != PENDING:
-                break
-            await asyncio.sleep(0.02)
-        if rec is None or rec.status != SUCCESS:
-            return ClientReply(ok=False, error=f"lookup failed for {msg.key!r}")
-        value = self.peer.found_values.pop(qid, None)
-        if value is None:
-            # Answered from the local database/cache: no DataFound rode
-            # the wire, so read the value directly.
-            item = self.peer.database.get(msg.key) or self.peer.cache_lookup(msg.key)
-            value = item.value if item is not None else None
-        return ClientReply(
-            ok=True,
-            payload={"key": msg.key, "value": value, "holder": rec.holder},
-        )
+        # Event-driven completion: succeed()/fail() fires the watcher
+        # inside the message/timer handler that resolved the lookup, so
+        # the waiting future completes on the same loop iteration --
+        # no polling, no added latency.  The protocol's own
+        # lookup_timeout (plus reflood budget) bounds the wait.
+        rec = self.queries.get(qid)
+        try:
+            if rec is not None and rec.status == PENDING:
+                future: asyncio.Future = asyncio.get_running_loop().create_future()
+                self.queries.watch(
+                    qid, lambda r: future.done() or future.set_result(r)
+                )
+                try:
+                    rec = await future
+                except asyncio.CancelledError:
+                    self.queries.unwatch(qid)
+                    raise
+            if rec is None or rec.status != SUCCESS:
+                return ClientReply(
+                    ok=False, error=f"lookup failed for {msg.key!r}"
+                )
+            value = self.peer.found_values.pop(qid, _NO_VALUE)
+            if value is _NO_VALUE:
+                # No DataFound rode the wire for this query: either the
+                # lookup was answered from this node's own database or
+                # cache (read it directly -- a stored None is still a
+                # found value), or the protocol located a holder whose
+                # value never arrived.  The two used to collapse into
+                # ``value: None``; keep them distinct.
+                item = (
+                    self.peer.database.get(msg.key)
+                    or self.peer.cache_lookup(msg.key)
+                )
+                if item is None:
+                    return ClientReply(
+                        ok=False,
+                        error=(
+                            f"holder {rec.holder} resolved for {msg.key!r} "
+                            "but no value arrived (value missing)"
+                        ),
+                    )
+                value = item.value
+            return ClientReply(
+                ok=True,
+                payload={"key": msg.key, "value": value, "holder": rec.holder},
+            )
+        finally:
+            self.peer.found_values.pop(qid, None)
 
     # ------------------------------------------------------------------
     def status_snapshot(self) -> Dict[str, Any]:

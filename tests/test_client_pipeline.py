@@ -1,0 +1,384 @@
+"""Pipelined client connections: correlation, ordering, leak safety.
+
+The fake servers here speak the real wire codec but control *reply
+order* deliberately: batching requests and answering newest-first
+proves the connection matches replies by request id rather than
+arrival order; closing mid-flight proves no future leaks.  The final
+tests drive the real stack (localnet) through one pipelined connection
+and cover the loadgen aggregation helpers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.lookup import QueryRegistry, SUCCESS
+from repro.loadgen import (
+    POLLING_ERA_GET_OPS,
+    LoadResult,
+    LoadSpec,
+    VerbStats,
+    smoke_result_ok,
+)
+from repro.runtime import (
+    ClientConnection,
+    ClientGet,
+    ClientPut,
+    ClientReply,
+    LocalNet,
+)
+from repro.runtime.client import runtime_codec
+from repro.runtime.localnet import fast_config
+from repro.runtime.node import _query_id_block
+
+
+# ----------------------------------------------------------------------
+# Fake servers speaking the real codec with scripted reply behaviour
+# ----------------------------------------------------------------------
+class _FakeServer:
+    """Accepts client verbs; subclasses decide when/how to reply."""
+
+    def __init__(self) -> None:
+        self.codec = runtime_codec()
+        self.server: asyncio.AbstractServer | None = None
+        self.host = "127.0.0.1"
+        self.port = 0
+
+    async def start(self) -> "_FakeServer":
+        self.server = await asyncio.start_server(self._serve, self.host, 0)
+        self.port = self.server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+            self.server = None
+
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        from repro.runtime.aio_transport import frame_stream
+
+        try:
+            await self.handle(frame_stream(reader), writer)
+        except (OSError, ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    async def handle(self, frames, writer) -> None:
+        raise NotImplementedError
+
+
+class _ReverseBatchServer(_FakeServer):
+    """Answers each batch of ``batch`` requests in *reverse* order."""
+
+    def __init__(self, batch: int = 8) -> None:
+        super().__init__()
+        self.batch = batch
+
+    async def handle(self, frames, writer) -> None:
+        pending = []
+        async for payload in frames:
+            msg = self.codec.decode(payload)
+            pending.append(msg)
+            if len(pending) < self.batch:
+                continue
+            for req in reversed(pending):
+                reply = ClientReply(
+                    ok=True,
+                    payload={"key": req.key, "rid": req.request_id},
+                    request_id=req.request_id,
+                )
+                writer.write(self.codec.frame(reply))
+            await writer.drain()
+            pending.clear()
+
+
+class _DropAfterServer(_FakeServer):
+    """Replies to the first ``answer`` requests, then drops the link."""
+
+    def __init__(self, answer: int, total: int) -> None:
+        super().__init__()
+        self.answer = answer
+        self.total = total
+
+    async def handle(self, frames, writer) -> None:
+        seen = 0
+        async for payload in frames:
+            msg = self.codec.decode(payload)
+            seen += 1
+            if seen <= self.answer:
+                reply = ClientReply(
+                    ok=True, payload=msg.key, request_id=msg.request_id
+                )
+                writer.write(self.codec.frame(reply))
+                await writer.drain()
+            if seen == self.total:
+                return  # close with (total - answer) requests unanswered
+
+
+class _UncorrelatedServer(_FakeServer):
+    """Pre-correlation node: answers in arrival order with request_id=0."""
+
+    async def handle(self, frames, writer) -> None:
+        async for payload in frames:
+            msg = self.codec.decode(payload)
+            writer.write(
+                self.codec.frame(ClientReply(ok=True, payload=msg.key))
+            )
+            await writer.drain()
+
+
+# ----------------------------------------------------------------------
+def test_out_of_order_replies_match_their_requests() -> None:
+    """64+ concurrent ops on one connection, replies forced out of order."""
+
+    async def scenario() -> None:
+        server = await _ReverseBatchServer(batch=8).start()
+        try:
+            async with ClientConnection(server.host, server.port) as conn:
+                async def one(i: int) -> None:
+                    key = f"k/{i}"
+                    msg = ClientGet(key=key) if i % 2 else ClientPut(
+                        key=key, value=f"v{i}"
+                    )
+                    reply = await conn.request(msg, timeout=10)
+                    assert reply.ok
+                    # The reply body names the request it answers; it
+                    # must be *this* one even though the server answered
+                    # each batch newest-first.
+                    assert reply.payload["key"] == key
+                    assert reply.payload["rid"] == reply.request_id == msg.request_id
+
+                await asyncio.gather(*(one(i) for i in range(96)))
+                assert conn.inflight == 0
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_connection_drop_fails_inflight_futures_without_leaks() -> None:
+    async def scenario() -> None:
+        server = await _DropAfterServer(answer=3, total=10).start()
+        try:
+            conn = await ClientConnection(server.host, server.port).connect()
+            results = await asyncio.gather(
+                *(conn.request(ClientGet(key=f"k/{i}"), timeout=10) for i in range(10)),
+                return_exceptions=True,
+            )
+            replies = [r for r in results if isinstance(r, ClientReply)]
+            failures = [r for r in results if isinstance(r, ConnectionError)]
+            assert len(replies) == 3
+            assert len(failures) == 7
+            assert conn.inflight == 0, "futures leaked after connection drop"
+            with pytest.raises(ConnectionError):
+                await conn.request(ClientGet(key="late"))
+            await conn.aclose()
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_uncorrelated_replies_fall_back_to_fifo() -> None:
+    """request_id=0 replies (old server) match the oldest in-flight op."""
+
+    async def scenario() -> None:
+        server = await _UncorrelatedServer().start()
+        try:
+            async with ClientConnection(server.host, server.port) as conn:
+                replies = await asyncio.gather(
+                    *(conn.request(ClientGet(key=f"k/{i}"), timeout=10) for i in range(8))
+                )
+                # The server answers strictly in arrival order; FIFO
+                # matching must give every waiter its own key back.
+                assert [r.payload for r in replies] == [f"k/{i}" for i in range(8)]
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+def test_pipelined_ops_against_real_localnet() -> None:
+    """End to end: 64 interleaved put/get on one connection, real nodes."""
+
+    async def scenario() -> None:
+        net = LocalNet(t_peers=2, s_peers=1, seed=13, config=fast_config())
+        await net.start(join_timeout=20)
+        await net.wait_converged(timeout=20)
+        try:
+            node = net.nodes[0]
+            async with ClientConnection(node.host, node.port) as conn:
+                puts = await asyncio.gather(
+                    *(conn.request(ClientPut(key=f"p/{i}", value=i), timeout=15)
+                      for i in range(32))
+                )
+                assert all(r.ok for r in puts)
+                await asyncio.sleep(0.3)  # let StoreRequests settle
+                mixed = await asyncio.gather(
+                    *(conn.request(ClientGet(key=f"p/{i}"), timeout=15)
+                      for i in range(32)),
+                    *(conn.request(ClientPut(key=f"q/{i}", value=i), timeout=15)
+                      for i in range(32)),
+                )
+                assert all(r.ok for r in mixed), [r.error for r in mixed if not r.ok]
+                gets = mixed[:32]
+                assert [r.payload["value"] for r in gets] == list(range(32))
+                assert conn.inflight == 0
+        finally:
+            await net.stop()
+        leftovers = [
+            t for t in asyncio.all_tasks() if t is not asyncio.current_task()
+        ]
+        assert not leftovers, f"leaked tasks: {leftovers}"
+
+    asyncio.run(scenario())
+
+
+def test_get_distinguishes_missing_value_from_stored_none() -> None:
+    """Satellite: stored None is ok=True; holder-without-value is an error."""
+
+    async def scenario() -> None:
+        net = LocalNet(t_peers=1, s_peers=0, seed=3, config=fast_config())
+        await net.start(join_timeout=20)
+        await net.wait_converged(timeout=20)
+        try:
+            node = net.nodes[0]
+            async with ClientConnection(node.host, node.port) as conn:
+                reply = await conn.request(
+                    ClientPut(key="none-key", value=None), timeout=15
+                )
+                assert reply.ok
+                reply = await conn.request(ClientGet(key="none-key"), timeout=15)
+                assert reply.ok, reply.error
+                assert reply.payload["value"] is None
+
+                # Forge the ambiguous case: the lookup resolves with a
+                # holder, but no value ever lands (no DataFound payload,
+                # nothing in the local database or cache).
+                rec = node.queries.start(
+                    origin=node.peer.address, key="ghost", d_id=1,
+                    time=0.0, local=True,
+                )
+                node.queries.succeed(rec.query_id, 1.0, holder=424242)
+                node.peer.lookup = lambda key: rec.query_id  # type: ignore[method-assign]
+                reply = await conn.request(ClientGet(key="ghost"), timeout=15)
+                assert not reply.ok
+                assert "value missing" in (reply.error or "")
+                assert "424242" in (reply.error or "")
+        finally:
+            await net.stop()
+
+    asyncio.run(scenario())
+
+
+def test_v1_json_client_against_v2_node() -> None:
+    """Old client on the JSON wire format still completes put/get."""
+
+    async def scenario() -> None:
+        net = LocalNet(t_peers=2, s_peers=1, seed=7, config=fast_config())
+        await net.start(join_timeout=20)
+        await net.wait_converged(timeout=20)
+        try:
+            from repro.runtime.codec import WIRE_V1
+
+            node = net.nodes[0]
+            old_codec = runtime_codec(version=WIRE_V1)
+            async with ClientConnection(
+                node.host, node.port, codec=old_codec
+            ) as conn:
+                reply = await conn.request(
+                    ClientPut(key="mixed", value="ok"), timeout=15
+                )
+                assert reply.ok, reply.error
+                reply = await conn.request(ClientGet(key="mixed"), timeout=15)
+                assert reply.ok, reply.error
+                assert reply.payload["value"] == "ok"
+        finally:
+            await net.stop()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+def test_query_id_blocks_are_disjoint_and_rebase_guards() -> None:
+    a = _query_id_block(0x0A00000100_1234)
+    b = _query_id_block(0x0A00000200_1234)
+    assert a != b
+    assert 0 <= a < 2**63 and 0 <= b < 2**63
+
+    reg = QueryRegistry()
+    reg.rebase(a)
+    rec = reg.start(origin=1, key="k", d_id=2, time=0.0, local=False)
+    assert rec.query_id == a
+    reg.contact(rec.query_id)
+    assert rec.contacts == 1  # flat arrays index relative to the base
+    reg.succeed(rec.query_id, 1.0, holder=7)
+    assert rec.status == SUCCESS
+    with pytest.raises(RuntimeError):
+        reg.rebase(0)  # too late: ids already handed out
+
+
+def test_registry_watch_fires_on_completion_and_immediately_when_done() -> None:
+    reg = QueryRegistry()
+    rec = reg.start(origin=1, key="k", d_id=2, time=0.0, local=False)
+    fired: list = []
+    assert reg.watch(rec.query_id, fired.append)
+    assert not fired  # still pending
+    reg.succeed(rec.query_id, 5.0, holder=9)
+    assert fired == [rec]
+    # Watching an already-completed query fires synchronously.
+    late: list = []
+    assert reg.watch(rec.query_id, late.append)
+    assert late == [rec]
+    assert not reg.watch(999_999, late.append)  # unknown id
+
+    rec2 = reg.start(origin=1, key="k2", d_id=3, time=0.0, local=False)
+    reg.watch(rec2.query_id, fired.append)
+    reg.unwatch(rec2.query_id)
+    reg.fail(rec2.query_id, 9.0)
+    assert fired == [rec]  # unwatched: no callback
+
+
+# ----------------------------------------------------------------------
+def test_loadgen_stats_and_smoke_gate() -> None:
+    stats = VerbStats()
+    for ms in range(1, 1001):
+        stats.record(float(ms))
+    summary = stats.summary()
+    assert summary["ops"] == 1000 and summary["errors"] == 0
+    assert 495 <= summary["p50_ms"] <= 505
+    assert 985 <= summary["p99_ms"] <= 995
+    assert 998 <= summary["p999_ms"] <= 1000
+
+    good = LoadResult(
+        mode="closed", clients=1, pipeline=1, requested_rate=None,
+        measured_seconds=2.0, put=VerbStats(), get=stats,
+    )
+    assert good.get_throughput_ops == 500.0
+    assert smoke_result_ok(good, min_get_ops=10 * POLLING_ERA_GET_OPS) == []
+
+    bad = LoadResult(
+        mode="closed", clients=1, pipeline=1, requested_rate=None,
+        measured_seconds=2.0, put=VerbStats(), get=VerbStats(),
+    )
+    bad.get.record_error("boom")
+    problems = smoke_result_ok(bad, min_get_ops=10 * POLLING_ERA_GET_OPS)
+    assert len(problems) >= 2  # errored ops + throughput floor
+
+    with pytest.raises(ValueError):
+        LoadSpec(endpoints=[])
+    with pytest.raises(ValueError):
+        LoadSpec(endpoints=[("h", 1)], get_fraction=1.5)
+    with pytest.raises(ValueError):
+        LoadSpec(endpoints=[("h", 1)], rate=0.0)
+    round_trip = LoadResult(
+        mode="open", clients=2, pipeline=4, requested_rate=100.0,
+        measured_seconds=1.0, put=VerbStats(), get=stats, shed=3,
+    ).to_dict()
+    assert round_trip["shed"] == 3
+    assert round_trip["get"]["ops"] == 1000
