@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Replication bench: quorum-write latency and time-to-repair.
+
+Boots one in-process localnet per replication factor (k = 1, 2, 3; real
+TCP sockets on localhost), measures client-observed put latency at that
+factor -- k=1 is the paper's unreplicated write, k>1 pays the
+``write_quorum`` round trips of the repro.replica protocol -- then, for
+k > 1, abruptly kills a t-peer that owns acknowledged keys and measures
+how long until every one of its keys is readable again (detection +
+ring repair + segment handoff + anti-entropy).
+
+Writes ``BENCH_replica.json``.  ``--smoke`` runs a smaller batch and
+exits nonzero unless every factor's p99 put latency stays under the
+bound and the k=3 repair completes -- the CI regression gate for the
+durable write path.
+
+Run from the repo root: ``PYTHONPATH=src python scripts/bench_replica.py --smoke``
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runtime import ClientConnection, ClientGet, ClientPut, LocalNet  # noqa: E402
+from repro.runtime.localnet import fast_config  # noqa: E402
+
+SMOKE_P99_BOUND_MS = 5_000.0
+SMOKE_REPAIR_BOUND_S = 25.0
+
+
+def quantile(sorted_vals, q):
+    if not sorted_vals:
+        return None
+    idx = min(len(sorted_vals) - 1, int(q * len(sorted_vals)))
+    return sorted_vals[idx]
+
+
+def replica_config(k: int):
+    return fast_config(
+        replication_factor=k,
+        write_quorum=min(2, k),
+        replica_ack_timeout=500.0,
+        replica_write_retries=1,
+        replica_sync_period=1_000.0 if k > 1 else 0.0,
+        heartbeats_enabled=True,
+    )
+
+
+async def bench_factor(k: int, n_puts: int, measure_repair: bool) -> dict:
+    net = LocalNet(t_peers=4, s_peers=1, seed=31 + k, config=replica_config(k))
+    await net.start(join_timeout=30)
+    await net.wait_converged(timeout=30)
+    conn = None
+    try:
+        t_nodes = [n for n in net.nodes if n.peer.role == "t"]
+        victim = t_nodes[0]
+        survivor = next(n for n in net.nodes if n is not victim)
+        conn = await ClientConnection(
+            survivor.host, survivor.port, retry=True
+        ).connect()
+
+        latencies = []
+        acked = {}
+        for i in range(n_puts):
+            key, value = f"bench-{k}-{i}", f"v-{i}"
+            t0 = time.perf_counter()
+            reply = await conn.request(ClientPut(key=key, value=value), timeout=15.0)
+            latencies.append((time.perf_counter() - t0) * 1_000.0)
+            assert reply.ok, f"k={k} put {i} failed: {reply.error}"
+            acked[key] = value
+        latencies.sort()
+        result = {
+            "replication_factor": k,
+            "write_quorum": min(2, k),
+            "puts": n_puts,
+            "put_p50_ms": round(quantile(latencies, 0.50), 3),
+            "put_p99_ms": round(quantile(latencies, 0.99), 3),
+            "put_mean_ms": round(sum(latencies) / len(latencies), 3),
+            "time_to_repair_s": None,
+        }
+
+        if measure_repair:
+            lost_keys = [
+                key for key in acked
+                if victim.peer.owns_locally(victim.peer.idspace.hash_key(key))
+            ]
+            t0 = time.monotonic()
+            await victim.stop()  # abrupt: no departure handshake
+            deadline = t0 + 60.0
+            pending = set(lost_keys or acked)
+            while pending and time.monotonic() < deadline:
+                await asyncio.sleep(0.2)
+                for key in list(pending):
+                    reply = await conn.request(ClientGet(key=key), timeout=10.0)
+                    if reply.ok and reply.payload["value"] == acked[key]:
+                        pending.discard(key)
+            result["time_to_repair_s"] = (
+                round(time.monotonic() - t0, 2) if not pending else None
+            )
+            result["keys_on_crashed_segment"] = len(lost_keys)
+            result["keys_unrecovered"] = len(pending)
+        return result
+    finally:
+        if conn is not None:
+            await conn.aclose()
+        await net.stop()
+
+
+async def run(n_puts: int) -> dict:
+    runs = []
+    for k in (1, 2, 3):
+        print(f"factor k={k}: {n_puts} puts"
+              f"{' + crash/repair' if k > 1 else ''} ...", flush=True)
+        runs.append(await bench_factor(k, n_puts, measure_repair=k > 1))
+        print(f"  -> {json.dumps(runs[-1])}", flush=True)
+    return {
+        "bench": "repro.replica: quorum-write latency + time-to-repair",
+        "setup": (
+            "in-process LocalNet per factor (1 bootstrap + 4 t-peers + 1 "
+            "s-peer, real TCP on localhost), fast_config timers, "
+            "write_quorum=min(2,k), replica_ack_timeout=500ms; latency is "
+            "client-observed put round trip; repair time is abrupt t-peer "
+            "kill -> every key of the crashed segment readable again"
+        ),
+        "runs": runs,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--puts", type=int, default=150,
+                        help="tracked puts per replication factor")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_replica.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 60 puts, exit 1 unless p99 latency "
+                        "and k=3 repair clear their bounds")
+    args = parser.parse_args()
+
+    n_puts = 60 if args.smoke else args.puts
+    result = asyncio.run(run(n_puts))
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.smoke:
+        failures = []
+        for r in result["runs"]:
+            if r["put_p99_ms"] > SMOKE_P99_BOUND_MS:
+                failures.append(
+                    f"k={r['replication_factor']} p99 {r['put_p99_ms']}ms "
+                    f"> {SMOKE_P99_BOUND_MS}ms"
+                )
+            if r["replication_factor"] > 1:
+                if r["time_to_repair_s"] is None:
+                    failures.append(
+                        f"k={r['replication_factor']} repair did not complete"
+                    )
+                elif r["time_to_repair_s"] > SMOKE_REPAIR_BOUND_S:
+                    failures.append(
+                        f"k={r['replication_factor']} repair "
+                        f"{r['time_to_repair_s']}s > {SMOKE_REPAIR_BOUND_S}s"
+                    )
+        if failures:
+            print("SMOKE FAIL:", "; ".join(failures))
+            return 1
+        print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

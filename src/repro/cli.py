@@ -114,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--codec", type=int, default=None, choices=(1, 2),
                        help="wire format to encode with (default: v2; "
                        "both are always decoded)")
+    serve.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       dest="overrides", default=None,
+                       help="override a HybridConfig field (repeatable), "
+                       "e.g. --set replication_factor=3 --set write_quorum=2")
 
     node = sub.add_parser("node", help="run one live peer")
     node.add_argument("--join", required=True, metavar="HOST:PORT",
@@ -125,6 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
     node.add_argument("--codec", type=int, default=None, choices=(1, 2),
                       help="wire format to encode with (default: v2; "
                       "both are always decoded)")
+    node.add_argument("--set", action="append", metavar="KEY=VALUE",
+                      dest="overrides", default=None,
+                      help="override a HybridConfig field (repeatable), "
+                      "e.g. --set replication_factor=3 --set write_quorum=2")
 
     put = sub.add_parser("put", help="store KEY=VALUE through a live node")
     put.add_argument("key")
@@ -392,10 +400,53 @@ def _codec_kwargs(args: argparse.Namespace) -> dict:
     return {"codec_version": args.codec}
 
 
+def _apply_config_overrides(config: HybridConfig, pairs) -> HybridConfig:
+    """Apply repeatable ``--set KEY=VALUE`` flags to a config.
+
+    Values are coerced by the target field's declared type (bool accepts
+    true/false/yes/no/on/off/1/0), so subprocess daemons -- the
+    failover-smoke harness, localnet scripts -- can receive any
+    replication/liveness knob without a dedicated CLI flag each.
+    """
+    if not pairs:
+        return config
+    import dataclasses
+
+    types = {f.name: f.type for f in dataclasses.fields(HybridConfig)}
+    changes = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: --set expects KEY=VALUE, got {pair!r}")
+        if key not in types:
+            raise SystemExit(f"error: unknown config field {key!r}")
+        ftype = types[key]
+        if ftype in ("bool", bool):
+            low = raw.strip().lower()
+            if low in ("1", "true", "yes", "on"):
+                changes[key] = True
+            elif low in ("0", "false", "no", "off"):
+                changes[key] = False
+            else:
+                raise SystemExit(f"error: {key} expects a boolean, got {raw!r}")
+        elif ftype in ("int", int):
+            changes[key] = int(raw)
+        elif ftype in ("float", float):
+            changes[key] = float(raw)
+        else:
+            changes[key] = raw
+    try:
+        return config.with_changes(**changes)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .runtime import BootstrapNode
 
-    config = HybridConfig(p_s=args.ps)
+    config = _apply_config_overrides(
+        HybridConfig(p_s=args.ps), getattr(args, "overrides", None)
+    )
     return _run_daemon(
         BootstrapNode(
             args.host, args.port, config, seed=args.seed, **_codec_kwargs(args)
@@ -409,7 +460,10 @@ def _cmd_node(args: argparse.Namespace) -> int:
     from .runtime import PeerNode, pack_endpoint
 
     host, port = _parse_endpoint(args.join)
-    config = HybridConfig(server_address=pack_endpoint(host, port))
+    config = _apply_config_overrides(
+        HybridConfig(server_address=pack_endpoint(host, port)),
+        getattr(args, "overrides", None),
+    )
     daemon = PeerNode(
         args.host, args.port, config, seed=args.seed, capacity=args.capacity,
         **_codec_kwargs(args),

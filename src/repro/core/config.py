@@ -129,11 +129,30 @@ class HybridConfig:
     interest_band_bits: int = 0
     bypass_links: bool = False  # 5.4
     bypass_lifetime: float = 120_000.0  # ms before an idle bypass expires
-    # Replication factor for stored items (extension): 1 reproduces the
-    # paper (single copy; crashes lose data, Fig. 5b), k > 1 keeps the
-    # owner t-peer's copy plus k-1 spread copies, so a lookup fails only
-    # when every replica crashed.
+    # Durable segment replication (the repro.replica subsystem, not a
+    # placement scheme): 1 reproduces the paper exactly (single copy;
+    # crashes lose the crashed segments' data, Fig. 5b).  k > 1 keeps
+    # the owner t-peer's copy plus replicas on the next k-1 t-peers
+    # along the ring, so the segment survives any crash of fewer than k
+    # consecutive t-peers and failover promotes the replicas to primary
+    # copies.  (Distinct from ``placement``, which only picks *where in
+    # one s-network* the single authoritative copy lands.)
     replication_factor: int = 1
+    # --- repro.replica: quorum writes + anti-entropy (replication > 1) --
+    # Replica acknowledgments required before a tracked write is
+    # reported durable to its origin (the owner's own copy counts, so 1
+    # acknowledges from the owner alone and replication_factor waits
+    # for every successor replica).
+    write_quorum: int = 1
+    # Owner-side wait per fan-out attempt before re-sending ReplicaWrite
+    # to the successor chain.
+    replica_ack_timeout: float = 1_000.0  # ms
+    # Fan-out re-sends after the first attempt times out.
+    replica_write_retries: int = 1
+    # Anti-entropy period: the owner digests its segment and probes its
+    # replica chain; 0 disables the periodic exchange (event-triggered
+    # repair after failover still runs).
+    replica_sync_period: float = 0.0  # ms
     # Popular-data caching (the paper's stated future work, Section 7).
     cache_enabled: bool = False
     cache_capacity: int = 32  # entries per peer
@@ -201,6 +220,17 @@ class HybridConfig:
             raise ValueError("bypass_lifetime must be positive")
         if self.replication_factor < 1:
             raise ValueError("replication_factor must be >= 1")
+        if not (1 <= self.write_quorum <= self.replication_factor):
+            raise ValueError(
+                "write_quorum must be in [1, replication_factor] "
+                f"(got {self.write_quorum} with k={self.replication_factor})"
+            )
+        if self.replica_ack_timeout <= 0:
+            raise ValueError("replica_ack_timeout must be positive")
+        if self.replica_write_retries < 0:
+            raise ValueError("replica_write_retries must be >= 0")
+        if self.replica_sync_period < 0:
+            raise ValueError("replica_sync_period must be >= 0")
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
         if self.cache_ttl <= 0:

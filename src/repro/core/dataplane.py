@@ -83,23 +83,23 @@ class DataPlaneMixin:
         otherwise the data item is sent to the t-peer."
         """
         d_id = self.idspace.hash_key(key)
+        if self.config.replication_factor > 1:
+            # Durable path (repro.replica): the owning t-peer anchors
+            # the primary copy and fans a ReplicaWrite chain down its
+            # k-1 ring successors.  Placement spreading is bypassed --
+            # one authoritative holder per item is what makes the
+            # anti-entropy digest and failover promotion well-defined.
+            if self.role == "t" and self.owns(d_id):
+                self._replica_ingest(key, value, d_id, origin=self.address)
+            else:
+                target = self.t_peer if self.role == "s" else self.ring_next_hop(d_id)
+                self.send(
+                    target,
+                    StoreRequest(key=key, value=value, d_id=d_id, origin=self.address),
+                )
+            return d_id
         if self.owns_locally(d_id):
             self._insert_as_holder(key, value, d_id, origin=self.address)
-            if self.config.replication_factor > 1:
-                # Anchor a durable replica at the owner side of the tree.
-                target = self.t_peer if self.role == "s" else -1
-                if target not in (-1, self.address):
-                    self.send(
-                        target,
-                        ReplicaPush(
-                            key=key, value=value, d_id=d_id,
-                            remaining=self.config.replication_factor - 2,
-                        ),
-                    )
-                elif self.role == "t":
-                    self._push_replicas(
-                        key, value, d_id, self.config.replication_factor - 1
-                    )
         elif self.role == "s":
             self.send(
                 self.t_peer,
@@ -278,6 +278,10 @@ class DataPlaneMixin:
             self.send(self.ring_next_hop(msg.d_id), msg)
             return
         item = self.database.get(msg.key)
+        if item is None and self.config.replication_factor > 1:
+            # Failover window: ownership reached us before the repair
+            # pull finished -- serve reads from the replica copy.
+            item = self.replicas.get(msg.key)
         if item is not None:
             self._answer(msg.origin, msg.query_id, item, hops=msg.hop_count + 1)
             return
@@ -413,11 +417,12 @@ class DataPlaneMixin:
             self.send(self.ring_next_hop(msg.d_id), msg)
             return
         if self.config.replication_factor > 1:
-            # Replication extension: the owner anchors one durable copy;
-            # the remaining k-1 replicas spread into the s-network.
-            self._insert_as_holder(msg.key, msg.value, msg.d_id, msg.origin)
-            self._push_replicas(msg.key, msg.value, msg.d_id,
-                                self.config.replication_factor - 1)
+            # Durable path (repro.replica): primary copy here, then the
+            # k-successor chain; tracked when the origin asked for a
+            # quorum verdict (write_id >= 0).
+            self._replica_ingest(
+                msg.key, msg.value, msg.d_id, msg.origin, origin_wid=msg.write_id
+            )
         elif self.config.placement == PLACEMENT_SPREAD:
             self._spread(msg.key, msg.value, msg.d_id, msg.origin)
         else:

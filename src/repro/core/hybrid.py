@@ -328,7 +328,9 @@ class HybridSystem:
             # links) may still be in flight -- and the paper assumes
             # "the data are inserted to the system before it is looked
             # up", so settle them too.
-            if self.config.heartbeats_enabled:
+            if self.config.heartbeats_enabled or self.config.replica_sync_period > 0:
+                # Periodic timers (HELLO, anti-entropy) keep the event
+                # heap non-empty forever; advance time instead.
                 self.settle(5_000.0)
             else:
                 self.engine.run()
@@ -429,6 +431,10 @@ class HybridSystem:
 
     def total_items(self) -> int:
         return int(sum(len(p.database) for p in self.alive_peers()))
+
+    def total_replicas(self) -> int:
+        """Copies in replica stores (repro.replica; 0 at k == 1)."""
+        return int(sum(len(p.replicas) for p in self.alive_peers()))
 
     def snetwork_sizes(self) -> Dict[int, int]:
         """s-peers per t-peer (anchor address -> member count)."""

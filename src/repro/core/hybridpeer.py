@@ -39,6 +39,7 @@ from ..overlay.messages import (
 )
 from ..overlay.peer import BasePeer
 from ..overlay.transport import Transport
+from ..replica import ReplicationMixin
 from ..sim.engine import Engine
 from ..sim.timers import PeriodicTimer, Timer
 from ..sim.trace import TraceBus
@@ -60,6 +61,7 @@ class HybridPeer(
     DataPlaneMixin,
     SearchMixin,
     LivenessMixin,
+    ReplicationMixin,
     BypassMixin,
     CacheMixin,
     BasePeer,
@@ -136,6 +138,8 @@ class HybridPeer(
 
         # --- data plane -----------------------------------------------------
         self.database = DataStore(idspace)
+        # --- segment replication (repro.replica; inert at k == 1) -----------
+        self._init_replica_state(idspace)
         self.seen_queries: Set[Tuple[int, int]] = set()
         self.pending_lookups: Dict[int, object] = {}
         self.pending_searches: Dict[int, PartialSearch] = {}
@@ -202,6 +206,7 @@ class HybridPeer(
         self.join_latency = self.engine.now - self.join_request_time
         self.emit("join.complete", role=self.role, latency=self.join_latency)
         self.start_heartbeats()
+        self.start_replica_sync()
 
     # ------------------------------------------------------------------
     # Leave / crash
@@ -285,6 +290,7 @@ class HybridPeer(
     def _depart(self) -> None:
         """Final exit after all departure messages went out."""
         self.stop_liveness()
+        self.replica_shutdown()
         self._cancel_rejoin_retry()
         if self._handoff_timer is not None:
             self._handoff_timer.cancel()
@@ -299,6 +305,7 @@ class HybridPeer(
     def crash(self) -> None:
         """Abrupt failure: no notifications, all local state frozen."""
         self.stop_liveness()
+        self.replica_shutdown()
         self._cancel_rejoin_retry()
         if self._handoff_timer is not None:
             self._handoff_timer.cancel()

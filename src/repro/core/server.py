@@ -34,6 +34,7 @@ import numpy as np
 from ..overlay.idspace import IdSpace
 from ..overlay.messages import (
     CrashReport,
+    Hello,
     LoadTransfer,
     Message,
     PromoteToTPeer,
@@ -548,6 +549,16 @@ class BootstrapServer(BasePeer):
                 CrashReport(crashed=suspect, reporter=msg.sender, reporter_is_speer=False)
             )
         else:
+            if suspect in self.ring:
+                # The transport still believes the suspect is up.  In the
+                # live runtime reachability only flips after a delivery
+                # fails, and the server may not have sent the suspect
+                # anything since it died -- so probe it.  A dead suspect
+                # exhausts the connect retries and turns unreachable,
+                # letting the reporter's next repair request (neighbor
+                # timers re-fire periodically) take the crash path; a
+                # live suspect just ignores a stray HELLO.
+                self.send(suspect, Hello())
             self._send_repair(msg.sender)
 
     def unhandled(self, msg: Message) -> None:

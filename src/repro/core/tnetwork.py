@@ -168,7 +168,10 @@ class TNetworkMixin:
         self.send(msg.pre, TJoinAck(new_address=msg.new_address))
         if msg.new_address != msg.pre:
             self.send(msg.new_address, TJoinAck(new_address=msg.new_address))
-        self.watch_neighbor(msg.new_address)
+        # Reconcile, don't just add: the joiner displaced our previous
+        # predecessor, whose timer would otherwise go stale and fire a
+        # false crash.detected once its resets (acks/HELLOs) stop.
+        self._refresh_liveness()
 
     def on_TJoinAck(self, msg: TJoinAck) -> None:
         if self.pending_join is not None and self.pending_join[0] == msg.new_address:
@@ -177,7 +180,7 @@ class TNetworkMixin:
             self.successor, self.successor_pid = new_addr, new_pid
             self.pending_join = None
             self.joining = False
-            self.watch_neighbor(new_addr)
+            self._refresh_liveness()  # also unwatches the displaced successor
             self._drain_control_queues()
         if msg.new_address == self.address and not self.joined:
             # the new peer's side: it is now inserted in the ring.
@@ -365,6 +368,10 @@ class TNetworkMixin:
         )
         self._announce_substitution(old_t)
         self._refresh_liveness()
+        # The leaver's replica store (copies for predecessor segments)
+        # departs with it; our anti-entropy probes from those owners
+        # refill ours.  Our own segment's holders are unchanged.
+        self.start_replica_sync()
         self.emit("t.handoff", old=old_t, p_id=self.p_id)
 
     def _announce_substitution(self, old_t: int) -> None:
@@ -440,7 +447,7 @@ class TNetworkMixin:
             self.send(self.successor, msg)
             return
         self.successor, self.successor_pid = msg.suc, msg.suc_pid
-        self.watch_neighbor(msg.suc)
+        self._refresh_liveness()  # also unwatches the leaver
         self.send(
             msg.suc,
             TLeaveToSuc(leaver=msg.leaver, pre=self.address, pre_pid=self.p_id),
@@ -451,12 +458,14 @@ class TNetworkMixin:
         if self.predecessor != msg.leaver:
             self.emit("t.leave.mismatch", leaver=msg.leaver, predecessor=self.predecessor)
             return
+        old_lo = self.predecessor_pid
         self.predecessor, self.predecessor_pid = msg.pre, msg.pre_pid
         self.segment_lo = msg.pre_pid
         # The departed segment merges into ours; tell our s-network.
         grow = SegmentGrow(new_lo=msg.pre_pid)
         self.send_many(self.children, grow)
-        self.watch_neighbor(msg.pre)
+        self._refresh_liveness()  # also unwatches the leaver
+        self.replica_absorb_segment(msg.pre_pid, old_lo, failover=False)
         self.send(msg.leaver, TLeaveAck())
 
     def on_TLeaveAck(self, msg: TLeaveAck) -> None:
@@ -511,12 +520,17 @@ class TNetworkMixin:
         self._announce_substitution(old_t)
         self._refresh_liveness()
         self.emit("t.promotion", crashed=old_t, p_id=self.p_id)
+        # Our database starts empty at the crashed peer's position:
+        # pull the segment from its surviving replica holders.
+        self.replica_handle_promotion(old_t)
 
     def on_RingRepairReply(self, msg: RingRepairReply) -> None:
         """Adopt the server's authoritative ring pointers and assert
         ourselves to those neighbors (see :class:`RingNotify`)."""
         if self.role != "t":
             return
+        old_lo = self.predecessor_pid
+        old_suc = self.successor
         if msg.predecessor != self.address:
             self.predecessor, self.predecessor_pid = msg.predecessor, msg.predecessor_pid
             self.watch_neighbor(msg.predecessor)
@@ -526,6 +540,12 @@ class TNetworkMixin:
             self.watch_neighbor(msg.successor)
             self.send(msg.successor, RingNotify(p_id=self.p_id, claim="pred"))
         self.segment_lo = self.predecessor_pid
+        if self.predecessor_pid != old_lo:
+            # A crashed predecessor was excised: its segment is ours now
+            # and our replica copies of it become primary.
+            self.replica_absorb_segment(self.predecessor_pid, old_lo)
+        elif self.successor != old_suc:
+            self.replica_chain_changed()
 
     def on_RingNotify(self, msg: RingNotify) -> None:
         """A neighbor asserts its ring position (Chord's notify rule).
@@ -542,13 +562,13 @@ class TNetworkMixin:
             ):
                 self.predecessor, self.predecessor_pid = msg.sender, msg.p_id
                 self.segment_lo = msg.p_id
-                self.watch_neighbor(msg.sender)
+                self._refresh_liveness()  # also unwatches the old pointer
         elif msg.claim == "suc":
             if msg.p_id == self.successor_pid or self.idspace.in_interval(
                 msg.p_id, self.p_id, self.successor_pid
             ):
                 self.successor, self.successor_pid = msg.sender, msg.p_id
-                self.watch_neighbor(msg.sender)
+                self._refresh_liveness()  # also unwatches the old pointer
 
     def on_SegmentGrow(self, msg: SegmentGrow) -> None:
         """s-network member: widen the local ownership test, forward."""

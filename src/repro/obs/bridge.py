@@ -89,6 +89,26 @@ def declare_protocol_metrics(registry: MetricsRegistry) -> dict:
             "Membership/churn protocol events, by trace category",
             labelnames=("category",),
         ),
+        # --- repro.replica (segment replication + failover) -------------
+        "failover": registry.counter(
+            "repro_failover_total",
+            "Segments whose ownership moved after a crash, by kind "
+            "(promotion/absorb)",
+            labelnames=("kind",),
+        ),
+        "repair_items": registry.counter(
+            "repro_replica_repair_items_total",
+            "Items moved by anti-entropy repair (pulled + pushed)",
+        ),
+        "replica_lag": registry.gauge(
+            "repro_replica_lag",
+            "Items the most recently probed replica was missing",
+        ),
+        "write_quorum_latency": registry.histogram(
+            "repro_write_quorum_latency_ms",
+            "Origin-observed latency of quorum-acknowledged writes",
+            buckets=DEFAULT_LATENCY_MS_BUCKETS,
+        ),
     }
 
 
@@ -114,6 +134,10 @@ class TraceBridge:
         self._fanout = fams["fanout"].labels()
         self._stored = fams["stored"].labels()
         self._peer_events = fams["peer_events"]
+        self._failover = fams["failover"]
+        self._repair_items = fams["repair_items"].labels()
+        self._replica_lag = fams["replica_lag"].labels()
+        self._quorum_latency = fams["write_quorum_latency"].labels()
         self._installed: List[Tuple[str, object]] = []
         self._install()
 
@@ -126,6 +150,10 @@ class TraceBridge:
             ("lookup.failed", self._on_failed),
             ("flood.fanout", self._on_fanout),
             ("data.stored", self._on_stored),
+            ("replica.commit", self._on_replica_commit),
+            ("replica.failover", self._on_replica_failover),
+            ("replica.repair", self._on_replica_repair),
+            ("replica.lag", self._on_replica_lag),
         ]
         pairs.extend((cat, self._on_membership) for cat in MEMBERSHIP_CATEGORIES)
         for cat, fn in pairs:
@@ -162,3 +190,16 @@ class TraceBridge:
 
     def _on_membership(self, rec: TraceRecord) -> None:
         self._peer_events.labels(rec.category).inc()
+
+    def _on_replica_commit(self, rec: TraceRecord) -> None:
+        if rec.payload.get("committed", False):
+            self._quorum_latency.observe(rec.payload.get("latency", 0.0))
+
+    def _on_replica_failover(self, rec: TraceRecord) -> None:
+        self._failover.labels(rec.payload.get("kind", "?")).inc()
+
+    def _on_replica_repair(self, rec: TraceRecord) -> None:
+        self._repair_items.inc(rec.payload.get("items", 0))
+
+    def _on_replica_lag(self, rec: TraceRecord) -> None:
+        self._replica_lag.set(float(rec.payload.get("items", 0)))

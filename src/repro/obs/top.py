@@ -74,6 +74,8 @@ def snapshot_delta(
         ("hop events", "repro_lookup_hop_events_total"),
         ("drops", "repro_frames_dropped_total"),
         ("backpressure", "repro_tx_backpressure_total"),
+        ("failovers", "repro_failover_total"),
+        ("repair items", "repro_replica_repair_items_total"),
     ):
         rows.append((label, f"{rate(name):.1f}/s", "-", "-"))
 
@@ -82,12 +84,16 @@ def snapshot_delta(
     rows.append(
         ("tx queue depth", f"{_counter_total(cur, 'repro_tx_queue_depth'):.0f}", "-", "-")
     )
+    rows.append(
+        ("replica lag", f"{_counter_total(cur, 'repro_replica_lag'):.0f}", "-", "-")
+    )
 
     for label, name in (
         ("lookup hops", "repro_lookup_hops"),
         ("lookup contacts", "repro_lookup_contacts"),
         ("lookup latency ms", "repro_lookup_latency_ms"),
         ("flood fanout", "repro_flood_fanout"),
+        ("quorum write ms", "repro_write_quorum_latency_ms"),
     ):
         hist = _histogram_of(cur, name)
         if hist is None or hist.count == 0:

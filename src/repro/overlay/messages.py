@@ -74,6 +74,12 @@ __all__ = [
     "BTLookup",
     "BTLookupReply",
     "BTFetch",
+    # repro.replica: k-successor segment replication (appended in PR 7;
+    # wire ids derive from position, so new classes only ever go here)
+    "ReplicaWrite",
+    "ReplicaAck",
+    "ReplicaSyncRequest",
+    "ReplicaSyncResponse",
     # codec hook
     "wire_types",
 ]
@@ -321,12 +327,19 @@ class Ack(Message):
 # ----------------------------------------------------------------------
 @dataclass(slots=True)
 class StoreRequest(Message):
-    """Insert a (key, value) item; forwarded along the ring if remote."""
+    """Insert a (key, value) item; forwarded along the ring if remote.
+
+    ``write_id`` (appended for repro.replica) is the origin's tracking
+    id for a quorum-acknowledged durable write; -1 -- the wire default,
+    so pre-replica senders interoperate -- means untracked fire-and-
+    forget store semantics, exactly as before.
+    """
 
     key: str = ""
     value: Any = None
     d_id: int = 0
     origin: int = -1
+    write_id: int = -1
 
     # Constant size: a plain class attribute avoids a property call on
     # the transport hot path.
@@ -668,6 +681,87 @@ class BTFetch(Message):
     key: str = ""
     origin: int = -1
     query_id: int = -1
+
+
+# ----------------------------------------------------------------------
+# repro.replica: k-successor segment replication (durable writes)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class ReplicaWrite(Message):
+    """One replica copy travelling down the owner's successor chain.
+
+    The owner t-peer sends this to its ring successor; each receiving
+    t-peer stores the copy in its *replica store* (not its database --
+    it does not own the segment), acknowledges to ``ack_to`` when the
+    write is tracked, and forwards the message onward while
+    ``remaining > 0`` and the next successor is neither itself nor
+    ``owner`` (small rings stop the chain instead of wrapping).
+    """
+
+    key: str = ""
+    value: Any = None
+    d_id: int = 0
+    owner: int = -1  # owning t-peer (chain stop condition)
+    ack_to: int = -1  # where ReplicaAck goes; -1 = untracked, no ack
+    write_id: int = -1  # owner-scoped pending-write id
+    remaining: int = 0  # further chain hops after this receiver
+
+    # Constant size: a plain class attribute avoids a property call on
+    # the transport hot path.
+    size = CONTROL_SIZE + ITEM_SIZE
+
+
+@dataclass(slots=True)
+class ReplicaAck(Message):
+    """Replica confirms a copy; owner reports the quorum decision.
+
+    Two legs share the class: a replica holder acks the owner
+    (``final=False``, ``write_id`` is the owner's pending id) and the
+    owner notifies the write's origin once the ack quorum is met or
+    definitively missed (``final=True``, ``write_id`` is the origin's
+    tracking id, ``committed`` carries the verdict).
+    """
+
+    write_id: int = -1
+    replica: int = -1  # address of the confirming replica holder
+    committed: bool = True
+    final: bool = False
+
+
+@dataclass(slots=True)
+class ReplicaSyncRequest(Message):
+    """Anti-entropy probe: the owner's segment digest, chain-forwarded.
+
+    Each replica holder on the successor chain digests its replica
+    store over ``(lo, hi]`` and answers ``origin`` with a
+    :class:`ReplicaSyncResponse` when the digests disagree (an empty
+    owner digest never matches, which is how a freshly promoted owner
+    pulls the whole segment).
+    """
+
+    lo: int = 0
+    hi: int = 0
+    digest: str = ""
+    origin: int = -1
+    remaining: int = 0
+
+
+@dataclass(slots=True)
+class ReplicaSyncResponse(Message):
+    """A replica holder's full segment contents, sent on digest mismatch.
+
+    The owner merges items it is missing into its database and pushes
+    items the responder is missing back as targeted
+    :class:`ReplicaWrite` messages, repairing both directions.
+    """
+
+    lo: int = 0
+    hi: int = 0
+    items: Tuple[Tuple[str, Any, int], ...] = ()  # (key, value, d_id)
+
+    @property
+    def size(self) -> float:
+        return CONTROL_SIZE + ITEM_SIZE * len(self.items)
 
 
 # ----------------------------------------------------------------------

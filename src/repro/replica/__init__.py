@@ -1,0 +1,19 @@
+"""repro.replica -- k-successor segment replication with live failover.
+
+The durability layer of the reproduction: every t-peer's segment is
+mirrored onto the next ``k-1`` t-peers along the ring
+(``HybridConfig.replication_factor``), writes can demand an ack quorum
+(``write_quorum``) before the origin reports them durable, a periodic
+anti-entropy digest exchange (``replica_sync_period``) heals divergence
+after churn, and the Section 4 crash machinery is extended so the first
+live successor (or the promoted s-peer) assumes a crashed segment's
+ownership without losing acknowledged writes.
+
+See docs/REPLICATION.md for the protocol walkthrough and failure
+timeline.
+"""
+
+from .digest import items_in_segment, segment_digest
+from .protocol import ReplicationMixin
+
+__all__ = ["ReplicationMixin", "segment_digest", "items_in_segment"]

@@ -130,7 +130,17 @@ class ClientConnection:
 
     On EOF, a decode error, or :meth:`aclose`, every in-flight future
     is failed with :class:`ConnectionError` -- futures never leak.
+
+    ``retry=True`` adds a single bounded reconnect-and-retry for the
+    *idempotent* verbs (:class:`ClientGet` / :class:`ClientStatus`):
+    when such a request fails with :class:`ConnectionError` (reader
+    died, node restarted, failover handoff), the connection is reopened
+    once and the request re-sent.  Off by default -- puts and any
+    explicit ``aclose()`` never retry, so non-idempotent operations are
+    never silently repeated.
     """
+
+    IDEMPOTENT_VERBS = (ClientGet, ClientStatus)
 
     def __init__(
         self,
@@ -138,10 +148,12 @@ class ClientConnection:
         port: int,
         codec: Optional[MessageCodec] = None,
         timeout: float = 10.0,
+        retry: bool = False,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
         self.codec = codec if codec is not None else runtime_codec()
         self._ids = itertools.count(1)  # 0 is the uncorrelated sentinel
         self._pending: Dict[int, asyncio.Future] = {}
@@ -149,6 +161,9 @@ class ClientConnection:
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
         self._closed = False
+        self._user_closed = False  # aclose() called: never reconnect
+        self._conn_gen = 0  # bumped per successful reconnect
+        self._reconnect_lock = asyncio.Lock()
 
     # ------------------------------------------------------------------
     async def connect(self, timeout: Optional[float] = None) -> "ClientConnection":
@@ -179,7 +194,27 @@ class ClientConnection:
 
     # ------------------------------------------------------------------
     async def request(self, msg: Message, timeout: Optional[float] = None) -> ClientReply:
-        """Send one client verb; await its (possibly out-of-order) reply."""
+        """Send one client verb; await its (possibly out-of-order) reply.
+
+        With ``retry=True`` and an idempotent verb, one
+        :class:`ConnectionError` triggers a single reconnect + re-send;
+        every other failure (including timeouts) propagates unchanged.
+        """
+        retriable = self.retry and isinstance(msg, self.IDEMPOTENT_VERBS)
+        attempts = 2 if retriable else 1
+        for attempt in range(attempts):
+            gen = self._conn_gen
+            try:
+                return await self._request_once(msg, timeout)
+            except ConnectionError:
+                if attempt + 1 >= attempts or self._user_closed:
+                    raise
+                await self._ensure_reconnected(gen)
+        raise ConnectionError("unreachable")  # pragma: no cover
+
+    async def _request_once(
+        self, msg: Message, timeout: Optional[float] = None
+    ) -> ClientReply:
         if self._writer is None or self._closed:
             raise ConnectionError(
                 f"connection to {self.host}:{self.port} is not open"
@@ -196,6 +231,40 @@ class ClientConnection:
             )
         finally:
             self._pending.pop(rid, None)
+
+    async def _ensure_reconnected(self, gen: int) -> None:
+        """Reopen the socket once (retry path).
+
+        Serialised behind a lock so concurrent failing requests share
+        one reconnect: whoever arrives first (matching generation)
+        tears down the dead reader/writer and dials again; later
+        arrivals see the bumped generation and return immediately.
+        """
+        async with self._reconnect_lock:
+            if self._user_closed:
+                raise ConnectionError(
+                    f"connection to {self.host}:{self.port} was closed"
+                )
+            if self._conn_gen != gen:
+                return  # someone else already reconnected
+            task, self._reader_task = self._reader_task, None
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            writer, self._writer = self._writer, None
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (OSError, ConnectionError):
+                    pass
+            self._reader = None
+            self._closed = False
+            await self.connect()
+            self._conn_gen += 1
 
     async def _read_replies(self) -> None:
         assert self._reader is not None
@@ -251,6 +320,7 @@ class ClientConnection:
         connection dead (each teardown step checks its own state).
         """
         self._closed = True
+        self._user_closed = True
         task, self._reader_task = self._reader_task, None
         if task is not None:
             task.cancel()

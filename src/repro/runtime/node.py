@@ -458,6 +458,10 @@ class PeerNode(NodeDaemon):
         self.registry.gauge(
             "repro_keys_stored", "Data items in this peer's local database"
         ).set_function(lambda: float(len(peer.database)))
+        self.registry.gauge(
+            "repro_replica_keys",
+            "Replica copies this peer holds for other segments",
+        ).set_function(lambda: float(len(peer.replicas)))
 
     @property
     def peer(self) -> RuntimePeer:
@@ -502,8 +506,56 @@ class PeerNode(NodeDaemon):
     async def _do_put(self, msg: ClientPut) -> ClientReply:
         if not self.peer.joined:
             return ClientReply(ok=False, error="node has not joined yet")
+        if self.config.replication_factor > 1:
+            return await self._do_put_durable(msg)
         d_id = self.peer.store(msg.key, msg.value)
         return ClientReply(ok=True, payload={"key": msg.key, "d_id": d_id})
+
+    async def _do_put_durable(self, msg: ClientPut) -> ClientReply:
+        """Quorum-acknowledged put (repro.replica).
+
+        ``ok=True`` is returned only after the owning t-peer reports
+        ``write_quorum`` copies -- the zero-lost-acknowledged-writes
+        contract.  If the owner goes silent (crashed mid-write), one
+        daemon-side retry re-routes the write after the wait budget,
+        which covers the failover window while a successor assumes the
+        segment.
+        """
+        loop = asyncio.get_running_loop()
+        cfg = self.config
+        # Owner-side retry budget plus routing/failover slack, in s.
+        wait_s = (
+            cfg.replica_ack_timeout * (cfg.replica_write_retries + 1)
+            + 2.0 * cfg.replica_ack_timeout
+        ) / 1000.0
+        last_error = "write not acknowledged by quorum"
+        for _attempt in range(2):
+            future: asyncio.Future = loop.create_future()
+
+            def _verdict(committed: bool, latency_ms: float, fut=future) -> None:
+                if not fut.done():
+                    fut.set_result((committed, latency_ms))
+
+            wid, d_id = self.peer.store_durable(msg.key, msg.value, _verdict)
+            try:
+                committed, latency_ms = await asyncio.wait_for(future, wait_s)
+            except asyncio.TimeoutError:
+                self.peer.cancel_write_watch(wid)
+                last_error = f"no quorum verdict within {wait_s:.1f}s"
+                continue
+            if committed:
+                return ClientReply(
+                    ok=True,
+                    payload={
+                        "key": msg.key,
+                        "d_id": d_id,
+                        "replicated": True,
+                        "quorum": cfg.write_quorum,
+                        "latency_ms": round(latency_ms, 3),
+                    },
+                )
+            last_error = "quorum not reached"
+        return ClientReply(ok=False, error=f"put {msg.key!r}: {last_error}")
 
     async def _do_get(self, msg: ClientGet) -> ClientReply:
         if not self.peer.joined:
@@ -542,6 +594,10 @@ class PeerNode(NodeDaemon):
                     self.peer.database.get(msg.key)
                     or self.peer.cache_lookup(msg.key)
                 )
+                if item is None and self.config.replication_factor > 1:
+                    # Failover window: we own the key but the repair
+                    # pull hasn't promoted our replica copy yet.
+                    item = self.peer.replicas.get(msg.key)
                 if item is None:
                     return ClientReply(
                         ok=False,
@@ -570,6 +626,7 @@ class PeerNode(NodeDaemon):
             "predecessor": p.predecessor,
             "successor": p.successor,
             "keys_stored": len(p.database),
+            "replica_keys": len(p.replicas),
             "messages_received": p.messages_received,
             "uptime_s": round(self.uptime(), 3),
             "codec_version": self.codec.version,

@@ -41,9 +41,10 @@ def build_system(
     config = HybridConfig(p_s=p_s, **config_kwargs)
     system = HybridSystem(config, n_peers=n_peers, seed=seed)
     system.build()
-    if config.heartbeats_enabled:
-        # The engine never empties while HELLO timers run; advance far
-        # enough for trailing control messages to land instead.
+    if config.heartbeats_enabled or config.replica_sync_period > 0:
+        # The engine never empties while HELLO or anti-entropy timers
+        # run; advance far enough for trailing control messages to land
+        # instead.
         system.settle(2_000.0)
     else:
         system.engine.run()  # drain any trailing control messages

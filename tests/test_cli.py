@@ -36,6 +36,37 @@ class TestParser:
         )
         assert args.jobs == 4 and args.no_cache is True
 
+    def test_node_set_flag_repeats(self):
+        args = build_parser().parse_args(
+            ["node", "--join", "h:1", "--set", "replication_factor=3",
+             "--set", "write_quorum=2"]
+        )
+        assert args.overrides == ["replication_factor=3", "write_quorum=2"]
+
+    def test_set_overrides_coerce_by_field_type(self):
+        from repro.cli import _apply_config_overrides
+        from repro.core import HybridConfig
+
+        cfg = _apply_config_overrides(
+            HybridConfig(),
+            ["replication_factor=3", "write_quorum=2",
+             "heartbeats_enabled=true", "replica_sync_period=2000"],
+        )
+        assert cfg.replication_factor == 3 and cfg.write_quorum == 2
+        assert cfg.heartbeats_enabled is True
+        assert cfg.replica_sync_period == 2000.0
+
+    def test_set_overrides_reject_unknown_and_invalid(self):
+        from repro.cli import _apply_config_overrides
+        from repro.core import HybridConfig
+
+        with pytest.raises(SystemExit):
+            _apply_config_overrides(HybridConfig(), ["no_such_field=1"])
+        with pytest.raises(SystemExit):
+            _apply_config_overrides(HybridConfig(), ["write_quorum=9"])
+        with pytest.raises(SystemExit):
+            _apply_config_overrides(HybridConfig(), ["replication_factor"])
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):

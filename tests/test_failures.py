@@ -181,3 +181,81 @@ class TestHeartbeatEconomy:
         )
         settle(system, 10_000)
         assert seen["hello"] == 0
+
+
+class TestAckSuppressBoundary:
+    """The suppress timer at its *exact* expiry instant.
+
+    ``note_query_activity`` compares ``engine.now >= ack_suppress_until``
+    -- the boundary is inclusive, so a query landing at precisely the
+    expiry tick must behave like an unsuppressed one: acknowledgment
+    sent, neighbor timer reset, and the next scheduled HELLO to that
+    neighbor deferred.
+    """
+
+    def test_query_at_exact_expiry_acks_resets_and_defers(self):
+        system = build_system(p_s=0.0, n_peers=8, ack_suppress=500.0, **HB)
+        a = system.t_peers()[0]
+        b = a.successor
+        sent = {"acks": 0}
+        system.trace.subscribe(
+            "transport.send",
+            lambda r: sent.__setitem__(
+                "acks", sent["acks"] + (r.payload.get("kind") == "Ack")
+            ),
+        )
+
+        # First query opens the suppress window.
+        a.note_query_activity(b, query_id=1)
+        assert sent["acks"] == 1
+        opened_until = a.ack_suppress_until
+        assert opened_until == system.engine.now + 500.0
+
+        # Strictly inside the window: suppressed.
+        a.note_query_activity(b, query_id=2)
+        assert sent["acks"] == 1
+
+        # Land the clock at exactly the expiry instant.
+        system.engine.run_until(opened_until)
+        assert system.engine.now == opened_until
+        timer = a.neighbor_timers[b]
+        acks_before = sent["acks"]
+
+        a.note_query_activity(b, query_id=3)
+
+        # Boundary is inclusive: the acknowledgment goes out ...
+        assert sent["acks"] == acks_before + 1
+        # ... a fresh window opens from the expiry instant ...
+        assert a.ack_suppress_until == opened_until + 500.0
+        # ... the neighbor timer restarts its full countdown from now ...
+        assert timer.running
+        assert timer.deadline == system.engine.now + a.config.neighbor_timeout
+        # ... and the ack stands in for b's next scheduled HELLO.
+        assert a._last_liveness_sent[b] == system.engine.now
+        targets = []
+        original = a.send_many
+        a.send_many = lambda addrs, msg: (targets.extend(addrs), original(addrs, msg))
+        try:
+            a._send_hellos()
+        finally:
+            a.send_many = original
+        assert b not in targets
+
+    def test_query_one_tick_before_expiry_stays_suppressed(self):
+        system = build_system(p_s=0.0, n_peers=8, ack_suppress=500.0, **HB)
+        a = system.t_peers()[0]
+        b = a.successor
+        sent = {"acks": 0}
+        system.trace.subscribe(
+            "transport.send",
+            lambda r: sent.__setitem__(
+                "acks", sent["acks"] + (r.payload.get("kind") == "Ack")
+            ),
+        )
+        a.note_query_activity(b, query_id=1)
+        assert sent["acks"] == 1
+        until = a.ack_suppress_until
+        system.engine.run_until(until - 1e-6)
+        a.note_query_activity(b, query_id=2)
+        assert sent["acks"] == 1  # still inside the window
+        assert a.ack_suppress_until == until  # window not re-opened
