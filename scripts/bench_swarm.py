@@ -1,0 +1,400 @@
+#!/usr/bin/env python
+"""Swarm bench: flash-crowd bulk transfer, naive vs tracker-mode swarm.
+
+Boots a real multi-process cluster (one ``repro serve`` bootstrap plus N
+``repro node`` daemons, each its own OS process) with
+``swarm_enabled=true``, then times the same flash crowd twice:
+
+* **naive** -- the payload is stored as one ordinary value; every
+  fetcher issues a full-size ``ClientGet``.  All of them resolve to the
+  single owner, whose process serializes every multi-megabyte encode.
+* **swarm** -- the payload is published with ``put_file`` (hashed
+  pieces + manifest) and fetched with ``get_file``.  Fetchers pull
+  pieces rarest-first from the tracker's holder set, and every
+  completed piece immediately makes its node a source, so the load
+  spreads across the crowd and rides the raw-bytes v2 frame path.
+
+Every piece is hash-verified on receipt and the assembled content is
+hash-verified against the manifest; the bench asserts zero integrity
+failures.  Appends the result to ``BENCH_swarm.json``.
+
+``--smoke`` is the CI gate: a smaller payload, exit nonzero unless the
+swarm crowd beats the naive crowd with zero integrity failures.
+
+Run from the repo root:
+``PYTHONPATH=src python scripts/bench_swarm.py --smoke``
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import re
+import sys
+import time
+from pathlib import Path
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+sys.path.insert(0, SRC)
+
+from repro.runtime import (  # noqa: E402
+    ClientConnection,
+    ClientGet,
+    ClientPut,
+    ClientStatus,
+    get_file,
+    put_file,
+)
+
+OVERRIDES = [
+    "swarm_enabled=true",
+    "swarm_inflight=4",
+    "swarm_request_timeout=1000",
+    "lookup_timeout=15000",
+]
+LISTEN_RE = re.compile(
+    r"listening on ([\d.]+):(\d+)(?: \(role=(\w), p_id=(-?\d+)\))?"
+)
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC] + env.get("PYTHONPATH", "").split(os.pathsep)
+    )
+    return env
+
+
+async def spawn(*argv: str) -> asyncio.subprocess.Process:
+    return await asyncio.create_subprocess_exec(
+        sys.executable, "-m", "repro", *argv,
+        stdout=asyncio.subprocess.PIPE,
+        stderr=asyncio.subprocess.STDOUT,
+        env=cli_env(),
+    )
+
+
+async def read_listen_line(proc, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    lines = []
+    while time.monotonic() < deadline:
+        try:
+            raw = await asyncio.wait_for(
+                proc.stdout.readline(), timeout=deadline - time.monotonic()
+            )
+        except asyncio.TimeoutError:
+            break
+        if not raw:
+            break
+        line = raw.decode().rstrip()
+        lines.append(line)
+        m = LISTEN_RE.search(line)
+        if m:
+            return m.group(1), int(m.group(2)), m.group(3)
+    raise RuntimeError(f"daemon never announced its endpoint: {lines}")
+
+
+async def wait_directory(host: str, port: int, want: int,
+                         timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            conn = await ClientConnection(host, port).connect()
+            try:
+                reply = await conn.request(ClientStatus(), timeout=5.0)
+            finally:
+                await conn.aclose()
+            if reply.ok:
+                last = reply.payload
+                if last["t_count"] + last["s_count"] >= want:
+                    return
+        except (ConnectionError, asyncio.TimeoutError):
+            pass
+        await asyncio.sleep(0.3)
+    raise RuntimeError(f"cluster never reached {want} members: {last}")
+
+
+async def wait_joined(nodes, timeout: float = 60.0) -> None:
+    """Block until every node reports ``joined`` in its status."""
+    deadline = time.monotonic() + timeout
+    pending = list(nodes)
+    while pending and time.monotonic() < deadline:
+        still = []
+        for host, port, _role in pending:
+            try:
+                conn = await ClientConnection(host, port).connect()
+                try:
+                    reply = await conn.request(ClientStatus(), timeout=5.0)
+                finally:
+                    await conn.aclose()
+                if not (reply.ok and reply.payload.get("joined")):
+                    still.append((host, port, _role))
+            except (ConnectionError, asyncio.TimeoutError):
+                still.append((host, port, _role))
+        pending = still
+        if pending:
+            await asyncio.sleep(0.3)
+    if pending:
+        raise RuntimeError(f"nodes never joined: {pending}")
+
+
+async def wait_stored(nodes, want: int, timeout: float = 30.0) -> None:
+    """Poll until the cluster-wide stored-key count reaches ``want``.
+
+    A put is acknowledged once the origin peer has *sent* the store
+    toward the owner, not once the owner has landed it; with
+    multi-megabyte values that transfer is slow enough that an
+    immediate crowd of lookups can reach the owner before the item
+    does and time out unanswered.  The bench measures serving a
+    stored item, not put propagation, so it waits for the store to
+    land before releasing the crowd.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        total = 0
+        for host, port, _role in nodes:
+            try:
+                conn = await ClientConnection(host, port).connect()
+                try:
+                    reply = await conn.request(ClientStatus(), timeout=5.0)
+                finally:
+                    await conn.aclose()
+            except (ConnectionError, asyncio.TimeoutError):
+                continue
+            if reply.ok:
+                total += reply.payload.get("keys_stored", 0)
+        if total >= want:
+            return
+        await asyncio.sleep(0.2)
+    raise RuntimeError(f"cluster never stored {want} keys")
+
+
+async def total_stored(nodes) -> int:
+    total = 0
+    for host, port, _role in nodes:
+        conn = await ClientConnection(host, port).connect()
+        try:
+            reply = await conn.request(ClientStatus(), timeout=5.0)
+        finally:
+            await conn.aclose()
+        if reply.ok:
+            total += reply.payload.get("keys_stored", 0)
+    return total
+
+
+async def timed_crowd(coros) -> tuple:
+    """Run the crowd concurrently; (wall seconds to last, per-task seconds)."""
+    t0 = time.perf_counter()
+
+    async def _one(coro):
+        start = time.perf_counter()
+        result = await coro
+        return time.perf_counter() - start, result
+
+    pairs = await asyncio.gather(*[_one(c) for c in coros])
+    total = time.perf_counter() - t0
+    return total, [p[0] for p in pairs], [p[1] for p in pairs]
+
+
+async def naive_run(pub, nodes, fetch_conns, data: bytes,
+                    timeout: float) -> dict:
+    # Latin-1 round-trips any byte value through the Any/JSON encoding
+    # without the +33% of base64; the cost under test is the single
+    # owner encoding the full payload once per fetcher.
+    value = data.decode("latin-1")
+    baseline = await total_stored(nodes)
+    reply = await pub.request(ClientPut(key="bulk-naive", value=value),
+                              timeout=timeout)
+    assert reply.ok, f"naive put failed: {reply.error}"
+    await wait_stored(nodes, baseline + 1)
+
+    async def _fetch(conn):
+        r = await conn.request(ClientGet(key="bulk-naive"), timeout=timeout)
+        assert r.ok, f"naive get failed: {r.error}"
+        assert r.payload["value"] == value, "naive get returned wrong bytes"
+        return len(value)
+
+    total, per_task, _ = await timed_crowd([_fetch(c) for c in fetch_conns])
+    return {"mode": "naive", "seconds": total, "per_fetcher_s": per_task}
+
+
+async def swarm_run(pub, nodes, fetch_conns, data: bytes, piece_size: int,
+                    timeout: float) -> dict:
+    baseline = await total_stored(nodes)
+    reply = await put_file(pub, "bulk-swarm", data, piece_size=piece_size,
+                           timeout=timeout)
+    pieces = reply.payload.get("pieces", 0)
+    await wait_stored(nodes, baseline + 1)  # the manifest itself
+
+    async def _fetch(conn):
+        blob = await get_file(conn, "bulk-swarm", timeout=timeout)
+        assert blob == data, "swarm get_file returned wrong bytes"
+        return len(blob)
+
+    total, per_task, _ = await timed_crowd([_fetch(c) for c in fetch_conns])
+    return {
+        "mode": "swarm",
+        "seconds": total,
+        "per_fetcher_s": per_task,
+        "pieces": pieces,
+    }
+
+
+async def integrity_failures(conns) -> int:
+    total = 0
+    for conn in conns:
+        reply = await conn.request(ClientStatus(), timeout=10.0)
+        if reply.ok:
+            total += reply.payload.get("swarm", {}).get("integrity_failures", 0)
+    return total
+
+
+async def run_bench(args: argparse.Namespace) -> dict:
+    procs = []
+    conns = []
+    set_args = [a for kv in OVERRIDES for a in ("--set", kv)]
+    try:
+        server = await spawn(
+            "serve", "--host", "127.0.0.1", "--port", "0",
+            "--ps", "0.7", "--seed", str(args.seed), *set_args,
+        )
+        procs.append(server)
+        b_host, b_port, _ = await read_listen_line(server)
+        print(f"bootstrap at {b_host}:{b_port}", flush=True)
+
+        nodes = []  # (host, port, role)
+        for i in range(args.nodes):
+            proc = await spawn(
+                "node", "--join", f"{b_host}:{b_port}", "--port", "0",
+                "--seed", str(100 + i), *set_args,
+            )
+            procs.append(proc)
+            host, port, role = await read_listen_line(proc)
+            nodes.append((host, port, role))
+        await wait_directory(b_host, b_port, args.nodes)
+        await wait_joined(nodes)
+        roles = "".join(sorted(n[2] for n in nodes))
+        print(f"{args.nodes} nodes up (roles {roles})", flush=True)
+
+        data = random.Random(args.seed).randbytes(args.size)
+        # Fetchers attach to s-role nodes only: that is the flash-crowd
+        # shape the bench models (edge peers downloading), and it keeps
+        # the naive baseline honest -- a get issued *from* the t-peer
+        # that owns the key's segment exercises a known seed-repo quirk
+        # (owner-origin lookups can time out under a concurrent
+        # multi-megabyte answer crowd) that has nothing to do with
+        # either transfer plane under comparison.
+        s_nodes = [n for n in nodes if n[2] == "s"]
+        if len(s_nodes) < 2:
+            raise RuntimeError(f"need >= 2 s-nodes, got roles "
+                               f"{[n[2] for n in nodes]}")
+        publisher, others = s_nodes[0], s_nodes[1:]
+        pub = await ClientConnection(publisher[0], publisher[1],
+                                     retry=True).connect()
+        conns.append(pub)
+        fetch_conns = []
+        for i in range(args.fetchers):
+            host, port, _role = others[i % len(others)]
+            conn = await ClientConnection(host, port, retry=True).connect()
+            conns.append(conn)
+            fetch_conns.append(conn)
+
+        naive = await naive_run(pub, nodes, fetch_conns, data, args.timeout)
+        print(f"naive: {args.fetchers} fetchers x {args.size} bytes "
+              f"in {naive['seconds']:.2f}s", flush=True)
+        swarm = await swarm_run(pub, nodes, fetch_conns, data,
+                                args.piece_size, args.timeout)
+        print(f"swarm: {args.fetchers} fetchers x {args.size} bytes "
+              f"({swarm['pieces']} pieces) in {swarm['seconds']:.2f}s",
+              flush=True)
+        bad = await integrity_failures(conns)
+        swarm["integrity_failures"] = bad
+
+        return {
+            "bench": "swarm",
+            "setup": {
+                "nodes": args.nodes,
+                "fetchers": args.fetchers,
+                "size_bytes": args.size,
+                "piece_size": args.piece_size,
+                "seed": args.seed,
+                "smoke": args.smoke,
+            },
+            "runs": [naive, swarm],
+            "speedup": naive["seconds"] / max(swarm["seconds"], 1e-9),
+            "integrity_failures": bad,
+        }
+    finally:
+        for conn in conns:
+            try:
+                await conn.aclose()
+            except (OSError, ConnectionError):
+                pass
+        for proc in procs:
+            if proc.returncode is None:
+                proc.terminate()
+        for proc in procs:
+            if proc.returncode is None:
+                try:
+                    await asyncio.wait_for(proc.wait(), timeout=10)
+                except asyncio.TimeoutError:
+                    proc.kill()
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--nodes", type=int, default=10)
+    ap.add_argument("--fetchers", type=int, default=8)
+    # The naive baseline carries the whole value inside one DataFound
+    # frame, whose JSON string escaping roughly quadruples random
+    # bytes -- so it hits the 16 MiB wire frame ceiling just past
+    # 2 MiB of payload.  The swarm plane has no such limit (pieces are
+    # individually framed), but the bench compares both on the same
+    # payload, so the default stays under the naive ceiling.
+    ap.add_argument("--size", type=int, default=2 * 1024 * 1024,
+                    help="payload bytes (default 2 MiB)")
+    ap.add_argument("--piece-size", type=int, default=64 * 1024)
+    ap.add_argument("--timeout", type=float, default=120.0)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--output", type=Path, default=Path("BENCH_swarm.json"))
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI gate: smaller payload, fail unless the swarm "
+                    "crowd beats the naive crowd with zero bad pieces")
+    args = ap.parse_args()
+    if args.smoke:
+        args.size = min(args.size, 2 * 1024 * 1024)
+
+    result = asyncio.run(run_bench(args))
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}", flush=True)
+    print(f"speedup: {result['speedup']:.2f}x "
+          f"(naive {result['runs'][0]['seconds']:.2f}s, "
+          f"swarm {result['runs'][1]['seconds']:.2f}s), "
+          f"{result['integrity_failures']} integrity failures", flush=True)
+
+    if args.smoke:
+        problems = []
+        if result["speedup"] <= 1.0:
+            problems.append(
+                f"swarm ({result['runs'][1]['seconds']:.2f}s) did not beat "
+                f"naive ({result['runs'][0]['seconds']:.2f}s)"
+            )
+        if result["integrity_failures"]:
+            problems.append(
+                f"{result['integrity_failures']} piece integrity failures"
+            )
+        for problem in problems:
+            print(f"smoke FAIL: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"smoke OK: swarm {result['speedup']:.2f}x faster, "
+              "zero integrity failures", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

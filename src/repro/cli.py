@@ -21,6 +21,9 @@ Live-runtime verbs (real TCP; see :mod:`repro.runtime`):
 * ``repro node --join HOST:PORT`` -- run one live peer;
 * ``repro put KEY VALUE --node HOST:PORT`` / ``repro get KEY --node
   HOST:PORT`` -- store/fetch through a running node;
+* ``repro put-file KEY FILE`` / ``repro get-file KEY`` -- chunked bulk
+  transfer over the tracker-mode swarm plane (needs nodes started with
+  ``--set swarm_enabled=true``; every piece is hash-verified);
 * ``repro status --node HOST:PORT`` -- JSON snapshot of a node or the
   bootstrap directory (``--pretty`` indents, ``--metrics`` folds in the
   node's metrics-registry snapshot);
@@ -82,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig3", "fig4", "fig5", "fig6", "table2",
             "maintenance", "comparison", "stress", "churn", "replication",
+            "swarm",
         ],
     )
     exp.add_argument("--scale", choices=["quick", "medium", "paper"], default="quick")
@@ -144,6 +148,27 @@ def build_parser() -> argparse.ArgumentParser:
     get.add_argument("key")
     get.add_argument("--node", required=True, metavar="HOST:PORT")
     get.add_argument("--timeout", type=float, default=15.0)
+
+    put_file = sub.add_parser(
+        "put-file",
+        help="publish FILE under KEY as hashed pieces + manifest (swarm)",
+    )
+    put_file.add_argument("key")
+    put_file.add_argument("path", help="file to publish ('-' reads stdin)")
+    put_file.add_argument("--node", required=True, metavar="HOST:PORT")
+    put_file.add_argument("--piece-size", type=int, default=65536,
+                          help="bytes per piece (default 64 KiB)")
+    put_file.add_argument("--timeout", type=float, default=30.0)
+
+    get_file = sub.add_parser(
+        "get-file",
+        help="fetch KEY's content via the swarm plane, verify every piece",
+    )
+    get_file.add_argument("key")
+    get_file.add_argument("--node", required=True, metavar="HOST:PORT")
+    get_file.add_argument("--out", metavar="FILE", default=None,
+                          help="write the bytes here (default: stdout)")
+    get_file.add_argument("--timeout", type=float, default=60.0)
 
     status = sub.add_parser("status", help="JSON status of a live node/server")
     status.add_argument("--node", required=True, metavar="HOST:PORT")
@@ -321,12 +346,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from .experiments import ext_churn
 
         print(ext_churn.main(n_peers=min(scale.n_peers, 100), executor=executor))
-    else:
+    elif args.name == "replication":
         from .experiments import ext_replication
 
         print(
             ext_replication.main(n_peers=min(scale.n_peers, 120), executor=executor)
         )
+    else:
+        from .experiments import ext_swarm
+
+        print(ext_swarm.main(n_peers=min(scale.n_peers, 60), seed=args.seed))
     _report_executor(args.name, executor)
     return 0
 
@@ -517,6 +546,64 @@ def _cmd_get(args: argparse.Namespace) -> int:
     return _client_verb(args, ClientGet(key=args.key))
 
 
+def _cmd_put_file(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .runtime import ClientConnection, put_file
+
+    if args.path == "-":
+        data = sys.stdin.buffer.read()
+    else:
+        try:
+            with open(args.path, "rb") as fh:
+                data = fh.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+            return 1
+    host, port = _parse_endpoint(args.node)
+
+    async def _run():
+        async with ClientConnection(host, port) as conn:
+            return await put_file(
+                conn, args.key, data,
+                piece_size=args.piece_size, timeout=args.timeout,
+            )
+
+    try:
+        reply = asyncio.run(_run())
+    except (OSError, ConnectionError, TimeoutError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(reply.payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_get_file(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .runtime import ClientConnection, get_file
+
+    host, port = _parse_endpoint(args.node)
+
+    async def _run():
+        async with ClientConnection(host, port) as conn:
+            return await get_file(conn, args.key, timeout=args.timeout)
+
+    try:
+        data = asyncio.run(_run())
+    except (OSError, ConnectionError, TimeoutError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "wb") as fh:
+            fh.write(data)
+        print(f"wrote {len(data)} bytes to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.buffer.write(data)
+        sys.stdout.buffer.flush()
+    return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     from .runtime import ClientStatus
 
@@ -577,8 +664,15 @@ def _cmd_bench_clients(args: argparse.Namespace) -> int:
 
 
 def _append_bench_record(path: str, record: dict) -> None:
-    """Append one run to a JSON file holding a list of runs."""
+    """Append one run to a JSON file holding a list of runs.
+
+    The rewrite is atomic (same-directory tmp + fsync + rename) so a
+    crash mid-write -- or two bench invocations racing on the same
+    ``--output`` -- can never leave a truncated/interleaved file behind:
+    readers see either the old list or the new one.
+    """
     import os
+    import tempfile
 
     runs = []
     if os.path.exists(path):
@@ -589,9 +683,23 @@ def _append_bench_record(path: str, record: dict) -> None:
         except (OSError, ValueError):
             runs = []
     runs.append(record)
-    with open(path, "w") as fh:
-        json.dump(runs, fh, indent=2)
-        fh.write("\n")
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(runs, fh, indent=2)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -617,6 +725,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "node": _cmd_node,
         "put": _cmd_put,
         "get": _cmd_get,
+        "put-file": _cmd_put_file,
+        "get-file": _cmd_get_file,
         "status": _cmd_status,
         "top": _cmd_top,
         "bench-clients": _cmd_bench_clients,

@@ -153,6 +153,20 @@ class HybridConfig:
     # replica chain; 0 disables the periodic exchange (event-triggered
     # repair after failover still runs).
     replica_sync_period: float = 0.0  # ms
+    # --- repro.swarm: tracker-mode chunked bulk transfer (Section 5.5) --
+    # Off by default: like replication_factor=1, the disabled state is
+    # bit-identical to the pre-swarm system (pure state allocation, no
+    # messages or timers).
+    swarm_enabled: bool = False
+    # Bytes per piece for the live runtime's put-file split; the sim
+    # uses explicit piece counts, not byte sizes.
+    swarm_piece_size: int = 65536
+    # Per-holder cap on outstanding PieceRequests from one downloader.
+    swarm_inflight: int = 4
+    # Downloader tick: stale requested pieces are re-issued and the
+    # tracker re-queried (refreshing holder sets mid-download is what
+    # makes the swarm effect kick in).
+    swarm_request_timeout: float = 2_000.0  # ms
     # Popular-data caching (the paper's stated future work, Section 7).
     cache_enabled: bool = False
     cache_capacity: int = 32  # entries per peer
@@ -231,6 +245,12 @@ class HybridConfig:
             raise ValueError("replica_write_retries must be >= 0")
         if self.replica_sync_period < 0:
             raise ValueError("replica_sync_period must be >= 0")
+        if self.swarm_piece_size < 1:
+            raise ValueError("swarm_piece_size must be >= 1")
+        if self.swarm_inflight < 1:
+            raise ValueError("swarm_inflight must be >= 1")
+        if self.swarm_request_timeout <= 0:
+            raise ValueError("swarm_request_timeout must be positive")
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
         if self.cache_ttl <= 0:

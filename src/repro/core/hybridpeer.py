@@ -40,6 +40,7 @@ from ..overlay.messages import (
 from ..overlay.peer import BasePeer
 from ..overlay.transport import Transport
 from ..replica import ReplicationMixin
+from ..swarm import SwarmMixin
 from ..sim.engine import Engine
 from ..sim.timers import PeriodicTimer, Timer
 from ..sim.trace import TraceBus
@@ -62,6 +63,7 @@ class HybridPeer(
     SearchMixin,
     LivenessMixin,
     ReplicationMixin,
+    SwarmMixin,
     BypassMixin,
     CacheMixin,
     BasePeer,
@@ -140,6 +142,8 @@ class HybridPeer(
         self.database = DataStore(idspace)
         # --- segment replication (repro.replica; inert at k == 1) -----------
         self._init_replica_state(idspace)
+        # --- swarm bulk transfer (repro.swarm; inert unless enabled) --------
+        self._init_swarm_state()
         self.seen_queries: Set[Tuple[int, int]] = set()
         self.pending_lookups: Dict[int, object] = {}
         self.pending_searches: Dict[int, PartialSearch] = {}
@@ -291,6 +295,7 @@ class HybridPeer(
         """Final exit after all departure messages went out."""
         self.stop_liveness()
         self.replica_shutdown()
+        self.swarm_shutdown()
         self._cancel_rejoin_retry()
         if self._handoff_timer is not None:
             self._handoff_timer.cancel()
@@ -306,6 +311,7 @@ class HybridPeer(
         """Abrupt failure: no notifications, all local state frozen."""
         self.stop_liveness()
         self.replica_shutdown()
+        self.swarm_shutdown()
         self._cancel_rejoin_retry()
         if self._handoff_timer is not None:
             self._handoff_timer.cancel()

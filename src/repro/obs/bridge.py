@@ -109,6 +109,23 @@ def declare_protocol_metrics(registry: MetricsRegistry) -> dict:
             "Origin-observed latency of quorum-acknowledged writes",
             buckets=DEFAULT_LATENCY_MS_BUCKETS,
         ),
+        # --- repro.swarm (tracker-mode bulk transfer) --------------------
+        "swarm_pieces": registry.counter(
+            "repro_swarm_pieces_total",
+            "Content pieces transferred over the swarm plane, by direction",
+            labelnames=("dir",),
+        ),
+        "swarm_piece_latency": registry.histogram(
+            "repro_swarm_piece_latency_ms",
+            "Request-to-receipt latency of individual piece downloads",
+            buckets=DEFAULT_LATENCY_MS_BUCKETS,
+        ),
+        # Live daemons back this same family with a set_function reading
+        # the tracker directly; the declaration is idempotent either way.
+        "swarm_holders": registry.gauge(
+            "repro_swarm_holders",
+            "Distinct holders registered with this peer's swarm tracker",
+        ),
     }
 
 
@@ -138,6 +155,9 @@ class TraceBridge:
         self._repair_items = fams["repair_items"].labels()
         self._replica_lag = fams["replica_lag"].labels()
         self._quorum_latency = fams["write_quorum_latency"].labels()
+        self._swarm_pieces = fams["swarm_pieces"]
+        self._swarm_piece_latency = fams["swarm_piece_latency"].labels()
+        self._swarm_holders = fams["swarm_holders"].labels()
         self._installed: List[Tuple[str, object]] = []
         self._install()
 
@@ -154,6 +174,8 @@ class TraceBridge:
             ("replica.failover", self._on_replica_failover),
             ("replica.repair", self._on_replica_repair),
             ("replica.lag", self._on_replica_lag),
+            ("swarm.piece", self._on_swarm_piece),
+            ("swarm.holders", self._on_swarm_holders),
         ]
         pairs.extend((cat, self._on_membership) for cat in MEMBERSHIP_CATEGORIES)
         for cat, fn in pairs:
@@ -203,3 +225,12 @@ class TraceBridge:
 
     def _on_replica_lag(self, rec: TraceRecord) -> None:
         self._replica_lag.set(float(rec.payload.get("items", 0)))
+
+    def _on_swarm_piece(self, rec: TraceRecord) -> None:
+        self._swarm_pieces.labels(rec.payload.get("dir", "?")).inc()
+        latency = rec.payload.get("latency")
+        if latency is not None:
+            self._swarm_piece_latency.observe(float(latency))
+
+    def _on_swarm_holders(self, rec: TraceRecord) -> None:
+        self._swarm_holders.set(float(rec.payload.get("holders", 0)))

@@ -76,6 +76,7 @@ def snapshot_delta(
         ("backpressure", "repro_tx_backpressure_total"),
         ("failovers", "repro_failover_total"),
         ("repair items", "repro_replica_repair_items_total"),
+        ("swarm pieces", "repro_swarm_pieces_total"),
     ):
         rows.append((label, f"{rate(name):.1f}/s", "-", "-"))
 
@@ -87,6 +88,9 @@ def snapshot_delta(
     rows.append(
         ("replica lag", f"{_counter_total(cur, 'repro_replica_lag'):.0f}", "-", "-")
     )
+    rows.append(
+        ("swarm holders", f"{_counter_total(cur, 'repro_swarm_holders'):.0f}", "-", "-")
+    )
 
     for label, name in (
         ("lookup hops", "repro_lookup_hops"),
@@ -94,6 +98,7 @@ def snapshot_delta(
         ("lookup latency ms", "repro_lookup_latency_ms"),
         ("flood fanout", "repro_flood_fanout"),
         ("quorum write ms", "repro_write_quorum_latency_ms"),
+        ("swarm piece ms", "repro_swarm_piece_latency_ms"),
     ):
         hist = _histogram_of(cur, name)
         if hist is None or hist.count == 0:

@@ -80,6 +80,12 @@ __all__ = [
     "ReplicaAck",
     "ReplicaSyncRequest",
     "ReplicaSyncResponse",
+    # repro.swarm: tracker-mode bulk transfer (appended in PR 8)
+    "AnnounceRequest",
+    "AnnounceResponse",
+    "HaveAnnounce",
+    "PieceRequest",
+    "PieceResponse",
     # codec hook
     "wire_types",
 ]
@@ -762,6 +768,80 @@ class ReplicaSyncResponse(Message):
     @property
     def size(self) -> float:
         return CONTROL_SIZE + ITEM_SIZE * len(self.items)
+
+
+# ----------------------------------------------------------------------
+# repro.swarm: tracker-mode chunked bulk transfer (Section 5.5)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class AnnounceRequest(Message):
+    """Peer announces its piece bitmap to the tracker and asks for holders.
+
+    Routed like :class:`StoreRequest`: an s-peer sends it to its t-peer,
+    t-peers forward along the ring until the segment owner of ``d_id``
+    (the tracker for ``content``) handles it.  ``have`` is a
+    little-endian byte bitmap (bit ``i`` of byte ``i // 8`` = piece
+    ``i``); an all-zero map registers a leech, a full map a seed.
+    """
+
+    content: str = ""  # manifest content hash (hex)
+    d_id: int = 0  # hash of the content id -> tracker segment
+    origin: int = -1
+    n_pieces: int = 0
+    have: bytes = b""
+
+
+@dataclass(slots=True)
+class AnnounceResponse(Message):
+    """Tracker's answer: the other holders and their piece bitmaps."""
+
+    content: str = ""
+    n_pieces: int = 0
+    holders: Tuple[Tuple[int, bytes], ...] = ()  # (address, bitmap)
+
+
+@dataclass(slots=True)
+class HaveAnnounce(Message):
+    """Incremental bitmap update: ``holder`` acquired piece ``piece``.
+
+    Routed to the tracker like :class:`AnnounceRequest`; keeps the
+    tracker's availability view fresh without re-announcing the whole
+    bitmap after every piece.
+    """
+
+    content: str = ""
+    d_id: int = 0
+    holder: int = -1
+    piece: int = 0
+    n_pieces: int = 0
+
+
+@dataclass(slots=True)
+class PieceRequest(Message):
+    """Direct request for one piece from a peer known to hold it."""
+
+    content: str = ""
+    index: int = 0
+    origin: int = -1
+
+
+@dataclass(slots=True)
+class PieceResponse(Message):
+    """One verified-size piece of content, sent directly to the requester.
+
+    ``data`` is empty when the holder no longer has the piece (the
+    requester re-announces and retries elsewhere).
+    """
+
+    content: str = ""
+    index: int = 0
+    data: bytes = b""
+    total: int = 0  # n_pieces, so the sim size model can scale per piece
+
+    @property
+    def size(self) -> float:
+        # The whole item costs ITEM_SIZE; each piece is 1/total of it.
+        return CONTROL_SIZE + ITEM_SIZE / max(1, self.total)
 
 
 # ----------------------------------------------------------------------

@@ -24,11 +24,18 @@ from .bootstrap import BootstrapNode
 from .client import (
     ClientConnection,
     ClientGet,
+    ClientGetFile,
+    ClientGetPiece,
+    ClientPieceReply,
     ClientPut,
+    ClientPutFile,
+    ClientPutPiece,
     ClientReply,
     ClientStatus,
     acall,
     call,
+    get_file,
+    put_file,
     runtime_codec,
 )
 from .codec import (
@@ -51,7 +58,12 @@ __all__ = [
     "BootstrapNode",
     "ClientConnection",
     "ClientGet",
+    "ClientGetFile",
+    "ClientGetPiece",
+    "ClientPieceReply",
     "ClientPut",
+    "ClientPutFile",
+    "ClientPutPiece",
     "ClientReply",
     "ClientStatus",
     "CodecError",
@@ -69,7 +81,9 @@ __all__ = [
     "default_codec",
     "fast_config",
     "format_endpoint",
+    "get_file",
     "pack_endpoint",
+    "put_file",
     "runtime_codec",
     "unpack_endpoint",
 ]

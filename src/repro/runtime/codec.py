@@ -490,15 +490,28 @@ class MessageCodec:
         mixed-version networks interoperate; pass ``(WIRE_V2,)`` (or
         ``(WIRE_V1,)``) for a strict single-version decoder that raises
         :class:`CodecError` on foreign frames.
+    max_frame_size:
+        Upper bound on a single frame's payload, enforced symmetrically:
+        :meth:`frame` refuses to emit a larger frame and :meth:`decode`
+        refuses to parse one.  The u32 length prefix would otherwise
+        admit up to 4 GiB; anything past this bound is treated as a
+        corrupt or hostile stream, not an allocation request.  Defaults
+        to :data:`MAX_FRAME` (16 MiB).
     """
 
     def __init__(
         self,
         version: int = WIRE_VERSION,
         accept: Optional[Iterable[int]] = None,
+        max_frame_size: int = MAX_FRAME,
     ) -> None:
         if version not in _KNOWN_VERSIONS:
             raise CodecError(f"unknown wire version {version}")
+        if max_frame_size < _HEAD.size:
+            raise CodecError(
+                f"max_frame_size must be >= {_HEAD.size}, got {max_frame_size}"
+            )
+        self.max_frame_size = max_frame_size
         accepted = _KNOWN_VERSIONS if accept is None else tuple(accept)
         for v in accepted:
             if v not in _KNOWN_VERSIONS:
@@ -596,8 +609,11 @@ class MessageCodec:
     def frame(self, msg: Message, version: Optional[int] = None) -> bytes:
         """Length-prefixed frame ready to write to a socket."""
         payload = self.encode(msg, version)
-        if len(payload) > MAX_FRAME:
-            raise CodecError(f"frame too large: {len(payload)} bytes")
+        if len(payload) > self.max_frame_size:
+            raise CodecError(
+                f"frame too large: {len(payload)} bytes exceeds "
+                f"max_frame_size {self.max_frame_size}"
+            )
         return _LEN.pack(len(payload)) + payload
 
     # ------------------------------------------------------------------
@@ -610,6 +626,11 @@ class MessageCodec:
         ``memoryview``); all v2 slicing happens through one memoryview,
         so nothing is copied on the fast path.
         """
+        if len(payload) > self.max_frame_size:
+            raise CodecError(
+                f"frame of {len(payload)} bytes exceeds "
+                f"max_frame_size {self.max_frame_size}"
+            )
         if len(payload) < _HEAD.size:
             raise CodecError("truncated payload")
         version, type_id = _HEAD.unpack_from(payload)
@@ -676,7 +697,9 @@ class MessageCodec:
 
 
 def default_codec(
-    version: int = WIRE_VERSION, accept: Optional[Iterable[int]] = None
+    version: int = WIRE_VERSION,
+    accept: Optional[Iterable[int]] = None,
+    max_frame_size: int = MAX_FRAME,
 ) -> MessageCodec:
     """A codec with every protocol message registered.
 
@@ -684,7 +707,7 @@ def default_codec(
     reserved), so both ends of a connection derive the same table from
     the message module alone.
     """
-    codec = MessageCodec(version=version, accept=accept)
+    codec = MessageCodec(version=version, accept=accept, max_frame_size=max_frame_size)
     for i, cls in enumerate(wire_types()):
         codec.register(cls, 1 + i)
     return codec

@@ -37,8 +37,21 @@ from ..obs.registry import DEFAULT_CLIENT_LATENCY_MS_BUCKETS, MetricsRegistry
 from ..overlay.idspace import IdSpace
 from ..overlay.messages import DataFound, Message
 from ..sim.trace import TraceBus
+from ..swarm import manifest as swarm_manifest
 from .aio_transport import AioTransport, frame_stream
-from .client import ClientGet, ClientPut, ClientReply, ClientStatus, runtime_codec
+from .client import (
+    CLIENT_REQUEST_TYPES,
+    ClientGet,
+    ClientGetFile,
+    ClientGetPiece,
+    ClientPieceReply,
+    ClientPut,
+    ClientPutFile,
+    ClientPutPiece,
+    ClientReply,
+    ClientStatus,
+    runtime_codec,
+)
 from .codec import WIRE_VERSION, CodecError, format_endpoint, pack_endpoint
 from .loop_engine import LoopEngine
 
@@ -289,7 +302,7 @@ class NodeDaemon:
                     last_version = version
                     if msg.sender > 0xFFFF:
                         self._rx_versions[format_endpoint(msg.sender)] = version
-                if isinstance(msg, (ClientPut, ClientGet, ClientStatus)):
+                if isinstance(msg, CLIENT_REQUEST_TYPES):
                     # Pipelining: each request resolves in its own task
                     # and writes its reply when done -- a slow get never
                     # holds up the ops queued behind it, and replies may
@@ -430,6 +443,13 @@ class PeerNode(NodeDaemon):
         self.capacity = capacity
         self.interest = interest
         self.queries = QueryRegistry()
+        # put-file staging: content hash -> piece index -> raw bytes,
+        # held between ClientPutPiece uploads and the ClientPutFile
+        # commit that verifies them.  Bounded: when a new content shows
+        # up with the table full, the oldest staging entry is dropped
+        # (its uploader will get a "missing pieces" error on commit).
+        self._swarm_staging: Dict[str, Dict[int, bytes]] = {}
+        self._swarm_staging_max = 16
 
     def _make_actor(self) -> RuntimePeer:
         # The listen address is final here (ephemeral port resolved by
@@ -462,6 +482,10 @@ class PeerNode(NodeDaemon):
             "repro_replica_keys",
             "Replica copies this peer holds for other segments",
         ).set_function(lambda: float(len(peer.replicas)))
+        self.registry.gauge(
+            "repro_swarm_holders",
+            "Distinct holders registered with this peer's swarm tracker",
+        ).set_function(lambda: float(peer.swarm_tracker.holder_count()))
 
     @property
     def peer(self) -> RuntimePeer:
@@ -501,6 +525,14 @@ class PeerNode(NodeDaemon):
             if msg.include_metrics:
                 payload["metrics"] = self.registry.snapshot()
             return ClientReply(ok=True, payload=payload)
+        if isinstance(msg, ClientPutPiece):
+            return self._do_put_piece(msg)
+        if isinstance(msg, ClientPutFile):
+            return await self._do_put_file(msg)
+        if isinstance(msg, ClientGetFile):
+            return await self._do_get_file(msg)
+        if isinstance(msg, ClientGetPiece):
+            return self._do_get_piece(msg)
         return await super().handle_client(msg)
 
     async def _do_put(self, msg: ClientPut) -> ClientReply:
@@ -615,6 +647,159 @@ class PeerNode(NodeDaemon):
             self.peer.found_values.pop(qid, None)
 
     # ------------------------------------------------------------------
+    # Bulk transfer (repro.swarm)
+    # ------------------------------------------------------------------
+    def _swarm_gate(self) -> Optional[ClientReply]:
+        if not self.config.swarm_enabled:
+            return ClientReply(
+                ok=False,
+                error="swarm mode is disabled (start the node with "
+                "--set swarm_enabled=true)",
+            )
+        if not self.peer.joined:
+            return ClientReply(ok=False, error="node has not joined yet")
+        return None
+
+    def _do_put_piece(self, msg: ClientPutPiece) -> ClientReply:
+        refused = self._swarm_gate()
+        if refused is not None:
+            return refused
+        staged = self._swarm_staging.get(msg.content)
+        if staged is None:
+            while len(self._swarm_staging) >= self._swarm_staging_max:
+                self._swarm_staging.pop(next(iter(self._swarm_staging)))
+            staged = self._swarm_staging[msg.content] = {}
+        staged[msg.index] = msg.data
+        return ClientReply(
+            ok=True,
+            payload={"content": msg.content, "index": msg.index,
+                     "staged": len(staged)},
+        )
+
+    async def _do_put_file(self, msg: ClientPutFile) -> ClientReply:
+        """Commit staged pieces: verify every hash, store, seed, track."""
+        refused = self._swarm_gate()
+        if refused is not None:
+            return refused
+        manifest = {
+            swarm_manifest.MANIFEST_MARKER: 1,
+            "content": msg.content,
+            "length": msg.length,
+            "piece_size": msg.piece_size,
+            "pieces": list(msg.pieces),
+        }
+        staged = self._swarm_staging.pop(msg.content, {})
+        missing = [i for i in range(len(msg.pieces)) if i not in staged]
+        if missing:
+            return ClientReply(
+                ok=False,
+                error=f"put-file {msg.key!r}: missing staged pieces {missing[:8]}",
+            )
+        bad = [
+            i for i in range(len(msg.pieces))
+            if not swarm_manifest.verify_piece(manifest, i, staged[i])
+        ]
+        if bad:
+            return ClientReply(
+                ok=False,
+                error=f"put-file {msg.key!r}: piece hash mismatch at {bad[:8]}",
+            )
+        # The manifest is the stored value: it rides the ordinary put
+        # path, so replication/quorum semantics apply to it unchanged.
+        reply = await self._do_put(ClientPut(key=msg.key, value=manifest))
+        if not reply.ok:
+            return reply
+        self.peer.swarm_seed(manifest, staged)
+        payload = dict(reply.payload or {})
+        payload.update(
+            {"content": msg.content, "pieces": len(msg.pieces),
+             "length": msg.length}
+        )
+        return ClientReply(ok=True, payload=payload)
+
+    async def _do_get_file(self, msg: ClientGetFile) -> ClientReply:
+        """Resolve the manifest, swarm-fetch the pieces, report counters.
+
+        The content itself is not folded into this reply: the client
+        pulls the pieces with :class:`ClientGetPiece` (raw-bytes reply
+        frames) and verifies them locally -- chunked transfer instead
+        of one giant JSON payload.
+        """
+        refused = self._swarm_gate()
+        if refused is not None:
+            return refused
+        lookup = await self._do_get(ClientGet(key=msg.key))
+        if not lookup.ok:
+            return lookup
+        manifest = lookup.payload.get("value")
+        if not swarm_manifest.is_manifest(manifest):
+            return ClientReply(
+                ok=False,
+                error=f"{msg.key!r} is not chunked content (no swarm manifest)",
+            )
+        content = manifest["content"]
+        n_pieces = len(manifest["pieces"])
+        local = self.peer.swarm_pieces.get(content, {})
+        if len(local) < n_pieces:
+            loop = asyncio.get_running_loop()
+            future: asyncio.Future = loop.create_future()
+
+            def _done(data: Optional[bytes], info: Dict[str, Any],
+                      fut=future) -> None:
+                if not fut.done():
+                    fut.set_result((data, info))
+
+            self.peer.swarm_fetch(manifest, _done)
+            # Budget: enough ticks for several announce/retry rounds.
+            wait_s = 10.0 * self.config.swarm_request_timeout / 1000.0 + 5.0
+            try:
+                data, info = await asyncio.wait_for(future, wait_s)
+            except asyncio.TimeoutError:
+                return ClientReply(
+                    ok=False,
+                    error=f"swarm fetch of {msg.key!r} incomplete after "
+                    f"{wait_s:.0f}s "
+                    f"({len(self.peer.swarm_pieces.get(content, {}))}"
+                    f"/{n_pieces} pieces)",
+                )
+            if data is None:
+                return ClientReply(
+                    ok=False,
+                    error=f"swarm fetch of {msg.key!r} failed integrity "
+                    f"verification ({info.get('integrity_failures')} failures)",
+                )
+            fetch_info = info
+        else:
+            fetch_info = {"pieces": n_pieces, "duration_ms": 0.0,
+                          "integrity_failures": 0}
+        return ClientReply(
+            ok=True,
+            payload={
+                "key": msg.key,
+                "manifest": manifest,
+                "pieces": n_pieces,
+                "duration_ms": round(float(fetch_info.get("duration_ms", 0.0)), 3),
+                "integrity_failures": int(fetch_info.get("integrity_failures", 0)),
+            },
+        )
+
+    def _do_get_piece(self, msg: ClientGetPiece) -> ClientReply:
+        refused = self._swarm_gate()
+        if refused is not None:
+            return refused
+        data = self.peer.swarm_pieces.get(msg.content, {}).get(msg.index)
+        if data is None:
+            return ClientReply(
+                ok=False,
+                error=f"piece {msg.index} of {msg.content[:12]} not held here",
+            )
+        return ClientPieceReply(
+            ok=True,
+            payload={"content": msg.content, "index": msg.index},
+            data=data,
+        )
+
+    # ------------------------------------------------------------------
     def status_snapshot(self) -> Dict[str, Any]:
         p = self.peer
         return {
@@ -627,6 +812,13 @@ class PeerNode(NodeDaemon):
             "successor": p.successor,
             "keys_stored": len(p.database),
             "replica_keys": len(p.replicas),
+            "swarm": {
+                "enabled": self.config.swarm_enabled,
+                "contents_held": len(p.swarm_pieces),
+                "contents_tracked": len(p.swarm_tracker),
+                "tracker_holders": p.swarm_tracker.holder_count(),
+                "integrity_failures": p.swarm_integrity_failures,
+            },
             "messages_received": p.messages_received,
             "uptime_s": round(self.uptime(), 3),
             "codec_version": self.codec.version,

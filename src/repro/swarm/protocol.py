@@ -1,0 +1,421 @@
+"""SwarmMixin: the peer-side swarm protocol (sim and live).
+
+Mixed into :class:`~repro.core.hybridpeer.HybridPeer` alongside the
+replication mixin, this implements both halves of tracker mode:
+
+- **tracker** (segment-owning t-peer): answers
+  :class:`~repro.overlay.messages.AnnounceRequest` with the known holder
+  set and keeps per-holder piece bitmaps fresh from
+  :class:`~repro.overlay.messages.HaveAnnounce` updates.
+- **downloader/seeder** (any peer): announces, selects pieces
+  rarest-first across the advertised holders with a per-holder inflight
+  cap, verifies every received piece against the manifest hash, streams
+  ``HaveAnnounce`` as pieces land (so later joiners are steered to it),
+  and serves :class:`~repro.overlay.messages.PieceRequest` for anything
+  it holds.
+
+Everything is deterministic: piece/holder selection is a pure function
+(:func:`~repro.swarm.pieces.rarest_first` salted by the peer address),
+and the periodic re-announce tick rides the shared engine timers.  With
+``swarm_enabled=False`` (the default) ``_init_swarm_state`` allocates
+empty containers and nothing else ever runs -- no messages, no timers,
+no RNG draws -- so the determinism golden is bit-identical.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..overlay.messages import (
+    AnnounceRequest,
+    AnnounceResponse,
+    HaveAnnounce,
+    PieceRequest,
+    PieceResponse,
+)
+from ..sim.timers import PeriodicTimer
+from . import manifest as mf
+from .pieces import bitmap_all, bitmap_get, bitmap_new, bitmap_set, rarest_first
+from .tracker import SwarmTracker
+
+__all__ = ["SwarmMixin"]
+
+# Upper bound on PieceRequests issued in one pump, whatever the holder
+# set allows -- keeps a single event-loop turn bounded.
+_PUMP_BUDGET = 32
+
+
+class _SwarmDownload:
+    """Book-keeping for one in-progress content fetch."""
+
+    __slots__ = (
+        "content",
+        "d_id",
+        "manifest",
+        "n_pieces",
+        "have",
+        "requested",  # piece -> (holder, sent_at)
+        "holder_maps",  # holder -> bytearray bitmap
+        "inflight",  # holder -> outstanding request count
+        "callbacks",
+        "timer",
+        "started_at",
+        "integrity_failures",
+        "done",
+    )
+
+    def __init__(self, content: str, d_id: int, manifest: Dict[str, Any],
+                 started_at: float) -> None:
+        self.content = content
+        self.d_id = d_id
+        self.manifest = manifest
+        self.n_pieces = len(manifest["pieces"])
+        self.have: Set[int] = set()
+        self.requested: Dict[int, Tuple[int, float]] = {}
+        self.holder_maps: Dict[int, bytearray] = {}
+        self.inflight: Dict[int, int] = {}
+        self.callbacks: List[Callable[[Optional[bytes], Dict[str, Any]], None]] = []
+        self.timer: Optional[PeriodicTimer] = None
+        self.started_at = started_at
+        self.integrity_failures = 0
+        self.done = False
+
+
+class SwarmMixin:
+    """Tracker-mode chunked bulk transfer (paper Section 5.5)."""
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def _init_swarm_state(self) -> None:
+        # content hash -> piece index -> bytes (pieces this peer serves)
+        self.swarm_pieces: Dict[str, Dict[int, bytes]] = {}
+        # content hash -> manifest (known locally; needed to verify/serve)
+        self.swarm_meta: Dict[str, Dict[str, Any]] = {}
+        # tracker side (only populated on the segment-owning t-peer)
+        self.swarm_tracker = SwarmTracker()
+        self._swarm_downloads: Dict[str, _SwarmDownload] = {}
+        self.swarm_integrity_failures = 0
+
+    @property
+    def _swarm_on(self) -> bool:
+        return self.config.swarm_enabled
+
+    def swarm_shutdown(self) -> None:
+        """Cancel download timers and drop swarm state (depart/crash)."""
+        for dl in self._swarm_downloads.values():
+            if dl.timer is not None:
+                dl.timer.stop()
+        self._swarm_downloads.clear()
+
+    # ------------------------------------------------------------------
+    # Publishing / seeding
+    # ------------------------------------------------------------------
+    def swarm_publish(self, key: str, data: bytes,
+                      piece_size: Optional[int] = None) -> Dict[str, Any]:
+        """Chunk ``data``, store its manifest under ``key``, seed pieces.
+
+        The manifest rides the ordinary put path (placement, replication
+        and caching all apply); the pieces stay local and are announced
+        to the tracker so downloaders find this peer as the first seed.
+        """
+        size = piece_size or self.config.swarm_piece_size
+        manifest = mf.build_manifest(data, size)
+        pieces = mf.split_pieces(data, size)
+        self.store(key, manifest)
+        self.swarm_seed(manifest, dict(enumerate(pieces)))
+        return manifest
+
+    def swarm_seed(self, manifest: Dict[str, Any],
+                   pieces: Dict[int, bytes]) -> None:
+        """Register locally held pieces and announce them to the tracker."""
+        content = manifest["content"]
+        self.swarm_meta[content] = manifest
+        self.swarm_pieces.setdefault(content, {}).update(pieces)
+        have = bitmap_new(len(manifest["pieces"]))
+        for index in self.swarm_pieces[content]:
+            bitmap_set(have, index)
+        self._swarm_announce(content, len(manifest["pieces"]), bytes(have))
+
+    def _swarm_announce(self, content: str, n_pieces: int, have: bytes) -> None:
+        msg = AnnounceRequest(
+            content=content,
+            d_id=self.idspace.hash_key(content),
+            origin=self.address,
+            n_pieces=n_pieces,
+            have=have,
+        )
+        self._swarm_to_tracker(msg)
+
+    # ------------------------------------------------------------------
+    # Fetching
+    # ------------------------------------------------------------------
+    def swarm_fetch(
+        self,
+        manifest: Dict[str, Any],
+        on_done: Callable[[Optional[bytes], Dict[str, Any]], None],
+    ) -> None:
+        """Fetch the content a manifest describes; swarm from holders.
+
+        ``on_done(data, info)`` fires once with the verified bytes (or
+        ``None`` after an unrecoverable assembly failure); ``info``
+        carries piece/latency/integrity counters.  Multiple concurrent
+        fetches of the same content share one download.
+        """
+        if not mf.is_manifest(manifest):
+            raise ValueError("swarm_fetch needs a manifest value")
+        content = manifest["content"]
+        local = self.swarm_pieces.get(content, {})
+        if len(local) == len(manifest["pieces"]):
+            # Already a seed: assemble straight from the local store.
+            data = mf.assemble(manifest, local)
+            on_done(data, self._swarm_info(content, 0.0, 0))
+            return
+        dl = self._swarm_downloads.get(content)
+        if dl is None:
+            dl = _SwarmDownload(
+                content, self.idspace.hash_key(content), manifest, self.engine.now
+            )
+            dl.have = set(local)
+            self._swarm_downloads[content] = dl
+            self.swarm_meta[content] = manifest
+            dl.timer = PeriodicTimer(
+                self.engine,
+                self.config.swarm_request_timeout,
+                partial(self._swarm_tick, content),
+            )
+            dl.timer.start()
+            self._swarm_announce_download(dl)
+        dl.callbacks.append(on_done)
+
+    def _swarm_announce_download(self, dl: _SwarmDownload) -> None:
+        have = bitmap_new(dl.n_pieces)
+        for index in dl.have:
+            bitmap_set(have, index)
+        self._swarm_announce(dl.content, dl.n_pieces, bytes(have))
+
+    def _swarm_tick(self, content: str) -> None:
+        """Periodic downloader tick: expire stale requests, re-announce."""
+        dl = self._swarm_downloads.get(content)
+        if dl is None or dl.done:
+            return
+        now = self.engine.now
+        timeout = self.config.swarm_request_timeout
+        for index, (holder, sent_at) in list(dl.requested.items()):
+            if now - sent_at >= timeout:
+                del dl.requested[index]
+                dl.inflight[holder] = max(0, dl.inflight.get(holder, 0) - 1)
+                # A holder that times out may be gone; drop its bitmap so
+                # the next pump avoids it until it re-appears in an
+                # AnnounceResponse.
+                dl.holder_maps.pop(holder, None)
+        # Refresh the holder set: peers that finished since the last
+        # announce become sources (this is where the swarm effect kicks
+        # in for late joiners).
+        self._swarm_announce_download(dl)
+        self._swarm_pump(dl)
+
+    def _swarm_pump(self, dl: _SwarmDownload) -> None:
+        """Issue PieceRequests, rarest-first, respecting inflight caps."""
+        if dl.done:
+            return
+        plan = rarest_first(
+            dl.n_pieces,
+            dl.have,
+            set(dl.requested),
+            dl.holder_maps,
+            dl.inflight,
+            self.config.swarm_inflight,
+            _PUMP_BUDGET,
+            salt=self.address,
+        )
+        now = self.engine.now
+        for index, holder in plan:
+            dl.requested[index] = (holder, now)
+            dl.inflight[holder] = dl.inflight.get(holder, 0) + 1
+            self.send(holder, PieceRequest(
+                content=dl.content, index=index, origin=self.address
+            ))
+
+    def _swarm_finish(self, dl: _SwarmDownload) -> None:
+        dl.done = True
+        if dl.timer is not None:
+            dl.timer.stop()
+        self._swarm_downloads.pop(dl.content, None)
+        pieces = self.swarm_pieces.get(dl.content, {})
+        try:
+            data: Optional[bytes] = mf.assemble(dl.manifest, pieces)
+        except ValueError:
+            dl.integrity_failures += 1
+            self.swarm_integrity_failures += 1
+            data = None
+        duration = self.engine.now - dl.started_at
+        info = self._swarm_info(dl.content, duration, dl.integrity_failures)
+        self.emit(
+            "swarm.complete",
+            content=dl.content,
+            pieces=dl.n_pieces,
+            duration=duration,
+            integrity_failures=dl.integrity_failures,
+            ok=data is not None,
+        )
+        for cb in dl.callbacks:
+            cb(data, info)
+
+    def _swarm_info(self, content: str, duration: float,
+                    integrity_failures: int) -> Dict[str, Any]:
+        return {
+            "content": content,
+            "pieces": len(self.swarm_pieces.get(content, {})),
+            "duration_ms": duration,
+            "integrity_failures": integrity_failures,
+        }
+
+    # ------------------------------------------------------------------
+    # Tracker routing
+    # ------------------------------------------------------------------
+    def _swarm_to_tracker(self, msg) -> None:
+        """Deliver a tracker-bound message (AnnounceRequest/HaveAnnounce).
+
+        Same routing rule as the data plane: s-peers hand it to their
+        t-peer; t-peers forward along the ring until the segment owner
+        of ``d_id`` handles it.  The owner handles its own messages
+        locally instead of dialling itself.
+        """
+        if self.role == "t" and self.owns(msg.d_id):
+            msg.sender = self.address
+            self.receive(msg)
+            return
+        if self.role != "t":
+            self.send(self.t_peer, msg)
+            return
+        self.send(self.ring_next_hop(msg.d_id), msg)
+
+    def on_AnnounceRequest(self, msg: AnnounceRequest) -> None:
+        if self.role != "t":
+            self.send(self.t_peer, msg)
+            return
+        if not self.owns(msg.d_id):
+            self.send(self.ring_next_hop(msg.d_id), msg)
+            return
+        self.swarm_tracker.announce(msg.content, msg.origin, msg.n_pieces, msg.have)
+        if self.wants_trace("swarm.holders"):
+            self.emit(
+                "swarm.holders",
+                content=msg.content,
+                holders=self.swarm_tracker.holder_count(msg.content),
+            )
+        holders = self.swarm_tracker.holders_for(msg.content, exclude=msg.origin)
+        response = AnnounceResponse(
+            content=msg.content,
+            n_pieces=self.swarm_tracker.n_pieces(msg.content),
+            holders=holders,
+        )
+        if msg.origin == self.address:
+            # Local announce from the tracker itself (it is seeding or
+            # fetching content it also tracks): short-circuit the reply.
+            response.sender = self.address
+            self.receive(response)
+        else:
+            self.send(msg.origin, response)
+
+    def on_AnnounceResponse(self, msg: AnnounceResponse) -> None:
+        dl = self._swarm_downloads.get(msg.content)
+        if dl is None or dl.done:
+            return
+        for holder, bitmap in msg.holders:
+            if holder == self.address:
+                continue
+            dl.holder_maps[holder] = bytearray(bitmap)
+        self._swarm_pump(dl)
+
+    def on_HaveAnnounce(self, msg: HaveAnnounce) -> None:
+        if self.role != "t":
+            self.send(self.t_peer, msg)
+            return
+        if not self.owns(msg.d_id):
+            self.send(self.ring_next_hop(msg.d_id), msg)
+            return
+        self.swarm_tracker.have(msg.content, msg.holder, msg.piece, msg.n_pieces)
+        if self.wants_trace("swarm.holders"):
+            self.emit(
+                "swarm.holders",
+                content=msg.content,
+                holders=self.swarm_tracker.holder_count(msg.content),
+            )
+
+    # ------------------------------------------------------------------
+    # Piece exchange
+    # ------------------------------------------------------------------
+    def on_PieceRequest(self, msg: PieceRequest) -> None:
+        pieces = self.swarm_pieces.get(msg.content, {})
+        data = pieces.get(msg.index, b"")
+        meta = self.swarm_meta.get(msg.content)
+        total = len(meta["pieces"]) if meta is not None else 0
+        if data and self.wants_trace("swarm.piece"):
+            self.emit("swarm.piece", dir="tx", content=msg.content, index=msg.index)
+        self.send(msg.origin, PieceResponse(
+            content=msg.content, index=msg.index, data=data, total=total
+        ))
+
+    def on_PieceResponse(self, msg: PieceResponse) -> None:
+        dl = self._swarm_downloads.get(msg.content)
+        if dl is None or dl.done:
+            return
+        entry = dl.requested.pop(msg.index, None)
+        if entry is not None:
+            holder, sent_at = entry
+            dl.inflight[holder] = max(0, dl.inflight.get(holder, 0) - 1)
+        else:
+            holder, sent_at = msg.sender, None
+        if not msg.data:
+            # Holder no longer has the piece: clear its bit locally so
+            # the selector stops asking it for this index.
+            bm = dl.holder_maps.get(holder)
+            if bm is not None and bitmap_get(bm, msg.index):
+                bm[msg.index >> 3] &= ~(1 << (msg.index & 7)) & 0xFF
+            self._swarm_pump(dl)
+            return
+        if msg.index in dl.have:
+            self._swarm_pump(dl)
+            return
+        if not mf.verify_piece(dl.manifest, msg.index, msg.data):
+            dl.integrity_failures += 1
+            self.swarm_integrity_failures += 1
+            self.emit(
+                "swarm.integrity_failure",
+                content=msg.content, index=msg.index, holder=holder,
+            )
+            self._swarm_pump(dl)
+            return
+        dl.have.add(msg.index)
+        self.swarm_pieces.setdefault(msg.content, {})[msg.index] = msg.data
+        if self.wants_trace("swarm.piece"):
+            latency = self.engine.now - sent_at if sent_at is not None else None
+            self.emit(
+                "swarm.piece",
+                dir="rx", content=msg.content, index=msg.index, latency=latency,
+            )
+        # Tell the tracker immediately: this peer is now a source for
+        # the piece, which is what spreads a flash crowd's load.
+        self._swarm_to_tracker(HaveAnnounce(
+            content=msg.content,
+            d_id=dl.d_id,
+            holder=self.address,
+            piece=msg.index,
+            n_pieces=dl.n_pieces,
+        ))
+        if len(dl.have) == dl.n_pieces:
+            self._swarm_finish(dl)
+        else:
+            self._swarm_pump(dl)
+
+    # ------------------------------------------------------------------
+    # Seeding a full bitmap helper (used by tests / the node daemon)
+    # ------------------------------------------------------------------
+    def swarm_full_bitmap(self, content: str) -> bytes:
+        meta = self.swarm_meta.get(content)
+        if meta is None:
+            return b""
+        return bytes(bitmap_all(len(meta["pieces"])))

@@ -165,3 +165,96 @@ def test_client_retry_survives_connection_loss() -> None:
             await net.stop()
 
     asyncio.run(scenario())
+
+
+def test_get_served_from_replica_store_during_window() -> None:
+    """A read that lands on the owner inside the failover window -- key
+    present only in ``peer.replicas``, not yet promoted into the
+    database -- is served from the replica copy instead of failing."""
+
+    async def scenario() -> None:
+        net = LocalNet(
+            t_peers=3, s_peers=2, seed=13,
+            config=fast_config(**REPLICATED),
+        )
+        await net.start(join_timeout=30)
+        await net.wait_converged(timeout=30)
+        conn = None
+        try:
+            gateway = next(n for n in net.nodes if n.peer.role == "s")
+            conn = await ClientConnection(gateway.host, gateway.port).connect()
+
+            # Write through the normal quorum path, then find the owner.
+            reply = await conn.request(
+                ClientPut(key="windowed", value="survives"), timeout=10.0
+            )
+            assert reply.ok, reply.error
+            owner = next(
+                n for n in net.nodes
+                if n.peer.owns_locally(n.peer.idspace.hash_key("windowed"))
+            )
+            assert owner.peer.database.get("windowed") is not None
+
+            # Stage the failover window on the owner: the primary copy
+            # is gone (as after an ownership handoff whose repair pull
+            # has not landed) but the replica copy is present.
+            item = owner.peer.database.get("windowed")
+            owner.peer.database.delete("windowed")
+            owner.peer.replicas.insert_item(item)
+
+            reply = await conn.request(ClientGet(key="windowed"), timeout=10.0)
+            assert reply.ok, reply.error
+            assert reply.payload["value"] == "survives"
+        finally:
+            if conn is not None:
+                await conn.aclose()
+            await net.stop()
+
+    asyncio.run(scenario())
+
+
+def test_daemon_get_falls_back_to_replicas() -> None:
+    """NodeDaemon._do_get's last-resort read: lookup resolved but no
+    DataFound value arrived and the database misses -- the daemon must
+    serve the value from ``peer.replicas`` rather than erroring."""
+
+    async def scenario() -> None:
+        net = LocalNet(
+            t_peers=2, s_peers=1, seed=17,
+            config=fast_config(**REPLICATED),
+        )
+        await net.start(join_timeout=30)
+        await net.wait_converged(timeout=30)
+        try:
+            from repro.runtime import ClientGet as _Get
+
+            daemon = net.nodes[0]
+            peer = daemon.peer
+            peer.replicas.insert("ghost", "replica-only")
+
+            # Emulate a lookup that succeeded remotely but whose value
+            # frame never arrived (the exact shape of the failover
+            # window the fallback exists for).
+            real_lookup = peer.lookup
+
+            def resolved_lookup(key: str) -> int:
+                d_id = peer.idspace.hash_key(key)
+                rec = peer.queries.start(
+                    peer.address, key, d_id, peer.engine.now, True
+                )
+                peer.queries.succeed(
+                    rec.query_id, peer.engine.now, holder=peer.address + 1
+                )
+                return rec.query_id
+
+            peer.lookup = resolved_lookup
+            try:
+                reply = await daemon._do_get(_Get(key="ghost"))
+            finally:
+                peer.lookup = real_lookup
+            assert reply.ok, reply.error
+            assert reply.payload["value"] == "replica-only"
+        finally:
+            await net.stop()
+
+    asyncio.run(scenario())

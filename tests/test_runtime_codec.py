@@ -68,6 +68,8 @@ def _strategy_for(hint: Any) -> st.SearchStrategy:
         return _text
     if hint is bool:
         return st.booleans()
+    if hint is bytes:
+        return st.binary(max_size=32)
     origin = get_origin(hint)
     if origin is tuple:
         args = get_args(hint)
@@ -335,3 +337,32 @@ def test_endpoint_packing_roundtrip() -> None:
         pack_endpoint("not-a-host", 80)
     with pytest.raises(ValueError):
         unpack_endpoint(80)  # too small to hold an endpoint
+
+
+# ----------------------------------------------------------------------
+# Frame size guard
+# ----------------------------------------------------------------------
+def test_decode_rejects_oversized_payload() -> None:
+    """A peer announcing an absurd frame is cut off before allocation."""
+    small = default_codec(max_frame_size=64)
+    big = FloodQuery(key="x" * 200)
+    payload = CODEC.frame(big)[4:]  # strip the length prefix
+    with pytest.raises(CodecError, match="max_frame_size"):
+        small.decode(payload)
+    # The same payload is fine under the default 16 MiB ceiling.
+    assert CODEC.decode(payload) == big
+
+
+def test_frame_rejects_oversized_encode() -> None:
+    small = default_codec(max_frame_size=64)
+    with pytest.raises(CodecError, match="frame too large"):
+        small.frame(FloodQuery(key="x" * 200))
+    # Within the limit, framing works as usual.
+    roomy = default_codec(max_frame_size=4096)
+    tiny = FloodQuery(key="k")
+    assert roomy.decode(roomy.frame(tiny)[4:]) == tiny
+
+
+def test_max_frame_size_validates_floor() -> None:
+    with pytest.raises(CodecError, match="max_frame_size"):
+        default_codec(max_frame_size=1)
