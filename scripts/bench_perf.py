@@ -20,11 +20,21 @@ Protocol notes
 * ``REPRO_PROFILE=1`` additionally wraps the first repeat in cProfile
   and prints the hottest functions to stderr (see :mod:`repro.perf`).
 
+Sharded runs (``--shards N``, repeatable) execute the same workload on
+the :mod:`repro.shard` substrate and must reproduce the single-process
+``CellResult`` bit-for-bit -- the bench records aggregate events/s and
+scaling efficiency per shard count next to the single-process figures.
+``--scale large`` runs the first past-the-paper cell (10^5 peers, bulk
+build): no golden to check against, so it records throughput plus peak
+RSS instead.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_perf.py                 # medium
     PYTHONPATH=src python scripts/bench_perf.py --scale quick
     PYTHONPATH=src python scripts/bench_perf.py --smoke         # CI
+    PYTHONPATH=src python scripts/bench_perf.py --shards 2 --shards 4
+    PYTHONPATH=src python scripts/bench_perf.py --scale large --shards 4
 """
 
 from __future__ import annotations
@@ -67,10 +77,38 @@ EXPECTED = {
     },
 }
 
-WORKLOAD = "run_cell(HybridConfig(p_s=0.3), Scale.{scale}())"
+SCALES = {
+    "quick": Scale.quick,
+    "medium": Scale.medium,
+    "large": Scale.large,
+}
 
 
-def bench_once(scale: Scale, profile: bool):
+def config_for_scale(scale_name: str) -> HybridConfig:
+    """The benched cell's configuration at each scale.
+
+    quick/medium pin the golden Fig.-3-style cell: ``p_s = 0.3``,
+    linear ring forwarding.  Linear forwarding costs O(n_t) ring hops
+    per remote lookup -- fine at the paper's 10^3, absurd at 10^5
+    (~10^4 hops *each* of 5,000 lookups is pure ring walking), so the
+    large cell uses the paper's own mechanism for scale: Section
+    3.2.1 finger routing, at the s-heavy operating point.
+    """
+    if scale_name == "large":
+        return HybridConfig(p_s=0.7, ring_routing="finger")
+    return HybridConfig(p_s=0.3)
+
+
+def workload_desc(scale_name: str) -> str:
+    if scale_name == "large":
+        return (
+            "run_cell(HybridConfig(p_s=0.7, ring_routing='finger'), "
+            "Scale.large())"
+        )
+    return f"run_cell(HybridConfig(p_s=0.3), Scale.{scale_name}())"
+
+
+def bench_once(config: HybridConfig, scale: Scale, profile: bool):
     """One timed repeat; returns (PerfReport, CellResult).
 
     ``run_cell`` owns the whole engine lifecycle, so the counters are
@@ -85,9 +123,9 @@ def bench_once(scale: Scale, profile: bool):
     t0 = time.perf_counter()
     if profile:
         with maybe_profile():
-            result = run_cell(HybridConfig(p_s=0.3), scale, system_out=out)
+            result = run_cell(config, scale, system_out=out)
     else:
-        result = run_cell(HybridConfig(p_s=0.3), scale, system_out=out)
+        result = run_cell(config, scale, system_out=out)
     wall = time.perf_counter() - t0
     system = out["system"]
     transport = system.transport
@@ -102,13 +140,72 @@ def bench_once(scale: Scale, profile: bool):
     return report, result
 
 
+def bench_sharded(config: HybridConfig, scale: Scale, shards: int):
+    """One sharded repeat; returns (wall, CellResult, shard info dict)."""
+    import time
+
+    info = {}
+    t0 = time.perf_counter()
+    result = run_cell(config, scale, system_out=info, shards=shards)
+    wall = time.perf_counter() - t0
+    return wall, result, info["shard_info"]
+
+
+def run_sharded_bench(
+    scale_name: str, shard_counts, base_result, base_evps
+) -> dict:
+    """Sharded repeats of the same workload: identity + scaling record.
+
+    ``base_result`` is the single-process :class:`CellResult` of this
+    run -- every sharded repeat must equal it exactly.  Efficiency is
+    aggregate events/s relative to ``base_evps`` (the single-process
+    best); on a single-core container this is honestly < 1.
+    """
+    scale = SCALES[scale_name]()
+    config = config_for_scale(scale_name)
+    entries = {}
+    for n in sorted(set(shard_counts)):
+        wall, result, info = bench_sharded(config, scale, n)
+        identical = result == base_result
+        assert identical, (
+            f"shards={n} diverged from the single-process run:\n"
+            f"  sharded: {result}\n  single:  {base_result}"
+        )
+        evps = info["events_total"] / wall
+        entries[str(n)] = {
+            "mode": info["mode"],
+            "wall_seconds": round(wall, 4),
+            "build_wall_seconds": round(info["build_wall_seconds"], 4),
+            "lookup_wall_seconds": round(info["lookup_wall_seconds"], 4),
+            "events_total": info["events_total"],
+            "events_per_second": round(evps),
+            "efficiency_vs_single": round(evps / base_evps, 3) if base_evps else None,
+            "bit_identical_to_single": identical,
+            "waves": info["waves"],
+            "window_rounds": info["window_rounds"],
+            "lookahead_ms": info["lookahead_ms"],
+            "peak_rss_kb": info["peak_rss_kb"],
+        }
+        print(
+            f"  shards={n} ({info['mode']}): {wall:.4f}s "
+            f"({evps:,.0f} events/s, identical={identical})"
+        )
+    return entries
+
+
 def run_bench(scale_name: str, repeats: int, check: bool) -> dict:
-    scale = Scale.quick() if scale_name == "quick" else Scale.medium()
-    expected = EXPECTED[scale_name]
+    scale = SCALES[scale_name]()
+    config = config_for_scale(scale_name)
+    expected = EXPECTED.get(scale_name)
+    check = check and expected is not None
     walls = []
     reports = []
+    results = []
     for i in range(repeats):
-        report, result = bench_once(scale, profile=(i == 0 and profiling_enabled()))
+        report, result = bench_once(
+            config, scale, profile=(i == 0 and profiling_enabled())
+        )
+        results.append(result)
         if check:
             assert report.events_executed == expected["events"], (
                 f"determinism break: executed {report.events_executed} events, "
@@ -125,11 +222,10 @@ def run_bench(scale_name: str, repeats: int, check: bool) -> dict:
     best_wall = min(walls)
     events = reports[0].events_executed
     best_evps = events / best_wall
-    baseline = BASELINE[scale_name]
-    speedup = best_evps / baseline["events_per_second"]
-    return {
+    baseline = BASELINE.get(scale_name)
+    entry = {
         "scale": scale_name,
-        "workload": WORKLOAD.format(scale=scale_name),
+        "workload": workload_desc(scale_name),
         "protocol": f"best of {repeats} in-process repeats (min wall-clock)",
         "repeats": repeats,
         "wall_seconds_all": [round(w, 4) for w in walls],
@@ -144,18 +240,36 @@ def run_bench(scale_name: str, repeats: int, check: bool) -> dict:
             "wall_seconds": round(statistics.median(walls), 4),
             "events_per_second": round(events / statistics.median(walls)),
         },
-        "baseline_pre_pr": baseline,
-        "speedup_events_per_second": round(speedup, 2),
     }
+    if baseline is not None:
+        entry["baseline_pre_pr"] = baseline
+        entry["speedup_events_per_second"] = round(
+            best_evps / baseline["events_per_second"], 2
+        )
+    else:
+        # No pre-optimisation tree ever ran this scale; peak RSS is the
+        # figure of merit alongside throughput.
+        try:
+            import resource
+
+            entry["peak_rss_kb"] = resource.getrusage(
+                resource.RUSAGE_SELF
+            ).ru_maxrss
+        except Exception:  # pragma: no cover - non-POSIX
+            pass
+    entry["_base_result"] = results[0]
+    entry["_best_evps"] = best_evps
+    return entry
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--scale",
-        choices=("quick", "medium"),
+        choices=("quick", "medium", "large"),
         default="medium",
-        help="workload scale (default: medium, the acceptance gate)",
+        help="workload scale (default: medium, the acceptance gate; "
+        "large = 10^5 peers, bulk build, no golden)",
     )
     parser.add_argument(
         "--repeats", type=int, default=5, help="timed repeats (default: 5)"
@@ -163,7 +277,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="CI mode: quick scale, 2 repeats, no JSON written",
+        help="CI mode: quick scale, 2 repeats, shards=2 identity gate, "
+        "no JSON written",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help="also run the workload sharded over N workers (repeatable); "
+        "asserts bit-identity with the single-process result",
     )
     parser.add_argument(
         "--output",
@@ -178,15 +302,32 @@ def main(argv=None) -> int:
     if args.smoke:
         args.scale = "quick"
         args.repeats = min(args.repeats, 2)
+        if not args.shards:
+            args.shards = [2]
+    if args.scale == "large" and args.repeats > 2:
+        args.repeats = 2  # minutes per repeat; best-of-5 buys little
 
-    print(f"benchmarking {WORKLOAD.format(scale=args.scale)} ...")
+    print(f"benchmarking {workload_desc(args.scale)} ...")
     entry = run_bench(args.scale, args.repeats, check=True)
-    print(
+    base_result = entry.pop("_base_result")
+    base_evps = entry.pop("_best_evps")
+    line = (
         f"best: {entry['best']['wall_seconds']}s "
-        f"({entry['best']['events_per_second']:,} events/s); "
-        f"pre-PR baseline: {entry['baseline_pre_pr']['events_per_second']:,} events/s; "
-        f"speedup: {entry['speedup_events_per_second']}x"
+        f"({entry['best']['events_per_second']:,} events/s)"
     )
+    if "baseline_pre_pr" in entry:
+        line += (
+            f"; pre-PR baseline: "
+            f"{entry['baseline_pre_pr']['events_per_second']:,} events/s; "
+            f"speedup: {entry['speedup_events_per_second']}x"
+        )
+    print(line)
+
+    if args.shards:
+        print(f"sharded repeats (identity gate vs single-process) ...")
+        entry["sharded"] = run_sharded_bench(
+            args.scale, args.shards, base_result, base_evps
+        )
 
     if not args.smoke:
         existing = {}

@@ -142,50 +142,6 @@ async def wait_joined(nodes, timeout: float = 60.0) -> None:
         raise RuntimeError(f"nodes never joined: {pending}")
 
 
-async def wait_stored(nodes, want: int, timeout: float = 30.0) -> None:
-    """Poll until the cluster-wide stored-key count reaches ``want``.
-
-    A put is acknowledged once the origin peer has *sent* the store
-    toward the owner, not once the owner has landed it; with
-    multi-megabyte values that transfer is slow enough that an
-    immediate crowd of lookups can reach the owner before the item
-    does and time out unanswered.  The bench measures serving a
-    stored item, not put propagation, so it waits for the store to
-    land before releasing the crowd.
-    """
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        total = 0
-        for host, port, _role in nodes:
-            try:
-                conn = await ClientConnection(host, port).connect()
-                try:
-                    reply = await conn.request(ClientStatus(), timeout=5.0)
-                finally:
-                    await conn.aclose()
-            except (ConnectionError, asyncio.TimeoutError):
-                continue
-            if reply.ok:
-                total += reply.payload.get("keys_stored", 0)
-        if total >= want:
-            return
-        await asyncio.sleep(0.2)
-    raise RuntimeError(f"cluster never stored {want} keys")
-
-
-async def total_stored(nodes) -> int:
-    total = 0
-    for host, port, _role in nodes:
-        conn = await ClientConnection(host, port).connect()
-        try:
-            reply = await conn.request(ClientStatus(), timeout=5.0)
-        finally:
-            await conn.aclose()
-        if reply.ok:
-            total += reply.payload.get("keys_stored", 0)
-    return total
-
-
 async def timed_crowd(coros) -> tuple:
     """Run the crowd concurrently; (wall seconds to last, per-task seconds)."""
     t0 = time.perf_counter()
@@ -206,11 +162,11 @@ async def naive_run(pub, nodes, fetch_conns, data: bytes,
     # without the +33% of base64; the cost under test is the single
     # owner encoding the full payload once per fetcher.
     value = data.decode("latin-1")
-    baseline = await total_stored(nodes)
+    # The put ack now means the copy landed at its holder (daemon holds
+    # the reply on the landed verdict), so the crowd can go immediately.
     reply = await pub.request(ClientPut(key="bulk-naive", value=value),
                               timeout=timeout)
     assert reply.ok, f"naive put failed: {reply.error}"
-    await wait_stored(nodes, baseline + 1)
 
     async def _fetch(conn):
         r = await conn.request(ClientGet(key="bulk-naive"), timeout=timeout)
@@ -224,11 +180,9 @@ async def naive_run(pub, nodes, fetch_conns, data: bytes,
 
 async def swarm_run(pub, nodes, fetch_conns, data: bytes, piece_size: int,
                     timeout: float) -> dict:
-    baseline = await total_stored(nodes)
     reply = await put_file(pub, "bulk-swarm", data, piece_size=piece_size,
                            timeout=timeout)
     pieces = reply.payload.get("pieces", 0)
-    await wait_stored(nodes, baseline + 1)  # the manifest itself
 
     async def _fetch(conn):
         blob = await get_file(conn, "bulk-swarm", timeout=timeout)

@@ -24,6 +24,7 @@ import sys
 import time
 
 from repro.exec import CellCache, CellExecutor
+from repro.shard import resolve_shards
 from repro.experiments import (
     Scale,
     fig3_analysis,
@@ -48,6 +49,11 @@ def main() -> None:
         "--no-cache", action="store_true",
         help="recompute every cell instead of consulting the cell cache",
     )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="worker shards per cell (default: REPRO_SHARDS or 1); "
+        "bit-identical to unsharded execution",
+    )
     args = parser.parse_args()
 
     args.outdir.mkdir(parents=True, exist_ok=True)
@@ -58,6 +64,7 @@ def main() -> None:
         jobs=args.jobs,
         cache=None if args.no_cache else CellCache(),
         progress=sys.stderr.isatty(),
+        shards=resolve_shards(args.shards),
     )
     jobs = [
         ("fig3", lambda: fig3_analysis.main(points=11)),

@@ -239,15 +239,25 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         help="recompute every cell instead of using the on-disk cell cache "
         "(~/.cache/repro-cells or $REPRO_CELL_CACHE)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker shards per cell (default: REPRO_SHARDS or 1); the "
+        "sharded run is bit-identical to the single-process run",
+    )
 
 
 def _make_executor(args: argparse.Namespace):
     from .exec import CellCache, CellExecutor
+    from .shard import resolve_shards
 
     return CellExecutor(
         jobs=args.jobs,
         cache=None if args.no_cache else CellCache(),
         progress=sys.stderr.isatty(),
+        shards=resolve_shards(getattr(args, "shards", None)),
     )
 
 

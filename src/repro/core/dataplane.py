@@ -28,6 +28,7 @@ from ..overlay.messages import (
     Ack,
     BTFetch,
     CachePush,
+    ReplicaAck,
     ReplicaPush,
     BTLookup,
     BTLookupReply,
@@ -424,11 +425,15 @@ class DataPlaneMixin:
                 msg.key, msg.value, msg.d_id, msg.origin, origin_wid=msg.write_id
             )
         elif self.config.placement == PLACEMENT_SPREAD:
-            self._spread(msg.key, msg.value, msg.d_id, msg.origin)
+            self._spread(msg.key, msg.value, msg.d_id, msg.origin, msg.write_id)
         else:
-            self._insert_as_holder(msg.key, msg.value, msg.d_id, msg.origin)
+            self._insert_as_holder(
+                msg.key, msg.value, msg.d_id, msg.origin, write_id=msg.write_id
+            )
 
-    def _spread(self, key: str, value: Any, d_id: int, origin: int) -> None:
+    def _spread(
+        self, key: str, value: Any, d_id: int, origin: int, write_id: int = -1
+    ) -> None:
         """Placement scheme 2: "picks a random s-peer from its directly
         connected s-peers and itself".
 
@@ -439,12 +444,18 @@ class DataPlaneMixin:
         choices = [self.address] + sorted(self.children)
         pick = choices[int(self.rng.integers(0, len(choices)))]
         if pick == self.address:
-            self._insert_as_holder(key, value, d_id, origin)
+            self._insert_as_holder(key, value, d_id, origin, write_id=write_id)
         else:
-            self.send(pick, SpreadStore(key=key, value=value, d_id=d_id, origin=origin))
+            self.send(
+                pick,
+                SpreadStore(
+                    key=key, value=value, d_id=d_id,
+                    origin=origin, write_id=write_id,
+                ),
+            )
 
     def on_SpreadStore(self, msg: SpreadStore) -> None:
-        self._spread(msg.key, msg.value, msg.d_id, msg.origin)
+        self._spread(msg.key, msg.value, msg.d_id, msg.origin, msg.write_id)
 
     def _push_replicas(self, key: str, value: Any, d_id: int, count: int) -> None:
         """Hand ``count`` replicas to random children (one hop each)."""
@@ -465,8 +476,15 @@ class DataPlaneMixin:
         if msg.remaining > 0:
             self._push_replicas(msg.key, msg.value, msg.d_id, msg.remaining)
 
-    def _insert_as_holder(self, key: str, value: Any, d_id: int, origin: int) -> None:
-        """Final insertion at this peer, plus variant bookkeeping."""
+    def _insert_as_holder(
+        self, key: str, value: Any, d_id: int, origin: int, write_id: int = -1
+    ) -> None:
+        """Final insertion at this peer, plus variant bookkeeping.
+
+        ``write_id >= 0`` means the origin's daemon is holding a client
+        put ack until the copy exists somewhere (the k == 1 analogue of
+        the quorum verdict): report back the moment the insert lands.
+        """
         self.database.insert(key, value, d_id)
         self.emit("data.stored", key=key, d_id=d_id)
         if self.config.snetwork_style == SNETWORK_BITTORRENT:
@@ -474,6 +492,17 @@ class DataPlaneMixin:
                 self.bt_index[key] = self.address
             else:
                 self.send(self.t_peer, BTRegister(key=key, d_id=d_id, holder=self.address))
+        if write_id >= 0:
+            if origin in (-1, self.address):
+                self._write_verdict(write_id, True)
+            else:
+                self.send(
+                    origin,
+                    ReplicaAck(
+                        write_id=write_id, replica=self.address,
+                        committed=True, final=True,
+                    ),
+                )
         if self.config.bypass_links and origin not in (-1, self.address):
             self.send(
                 origin,

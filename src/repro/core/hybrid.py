@@ -26,7 +26,7 @@ import numpy as np
 from ..enhance.binning import choose_landmarks, coordinate_of
 from ..enhance.heterogeneity import assign_roles
 from ..net.links import CapacityModel, HeterogeneityConfig
-from ..net.routing import Router
+from ..net.routing import make_router
 from ..net.stress import LinkStress
 from ..net.topology import (
     NodeKind,
@@ -58,6 +58,7 @@ class HybridSystem:
         topology: Optional[PhysicalTopology] = None,
         track_stress: bool = False,
         capacity_config: Optional[HeterogeneityConfig] = None,
+        queries: Optional[QueryRegistry] = None,
     ) -> None:
         config.validate()
         if n_peers < 1:
@@ -71,7 +72,9 @@ class HybridSystem:
             self.idspace = ClusteredIdSpace(config.id_bits, config.interest_band_bits)
         else:
             self.idspace = IdSpace(config.id_bits)
-        self.queries = QueryRegistry()
+        # Injectable so the sharded executor can substitute its
+        # shard-aware registry before any peer captures the reference.
+        self.queries = queries if queries is not None else QueryRegistry()
 
         # --- physical substrate -----------------------------------------
         if topology is None:
@@ -84,7 +87,7 @@ class HybridSystem:
                 "(peers + server)"
             )
         self.topology = topology
-        self.router = Router(topology)
+        self.router = make_router(topology)
         self.stress = LinkStress() if track_stress else None
 
         # Access-link capacities are indexed by overlay address
@@ -224,6 +227,133 @@ class HybridSystem:
             self.engine.run_while(lambda: not peer.joined)
             if not peer.joined:
                 raise RuntimeError(f"peer {peer.address} failed to join")
+        if self.config.ring_routing == ROUTING_FINGER:
+            self.install_fingers()
+        if self.config.mesh_extra_links > 0:
+            self._wire_mesh()
+        self.built = True
+
+    def build_bulk(self, interests: Optional[Sequence[Optional[str]]] = None) -> None:
+        """Construct the joined state directly, without protocol traffic.
+
+        The message-driven :meth:`build` walks every t-join linearly
+        around the ring, which is O(n_t^2) events -- hours at 10^5+
+        peers.  This path materializes the same *kind* of steady state
+        (sorted ring with server directory, degree-capped trees,
+        installed fingers) in O(n log n) by applying the server's own
+        decision procedures (p_id generation, role pre-assignment,
+        balanced s-network choice) and a deterministic breadth-first
+        tree fill in place of the random join walk.  It is deterministic
+        per seed but *not* message-equivalent to :meth:`build`, so small
+        scales with golden baselines keep using the protocol build.
+
+        Requires heartbeats off: liveness timers are armed by the join
+        protocol this path skips.
+        """
+        if self.built:
+            raise RuntimeError("system already built")
+        if self.config.heartbeats_enabled:
+            raise ValueError("build_bulk requires heartbeats_enabled=False")
+        if interests is not None and len(interests) != self.n_peers:
+            raise ValueError("interests must have one entry per peer")
+        import heapq as _heapq
+        from collections import deque
+
+        from .config import ASSIGN_BALANCED, CONNECT_STAR
+
+        capacities = [self.capacities.capacity(1 + i) for i in range(self.n_peers)]
+        roles = assign_roles(
+            capacities,
+            self.config.p_s,
+            self.rngs.stream("roles"),
+            self.config.heterogeneity_aware,
+        )
+        order = sorted(range(self.n_peers), key=lambda i: (roles[i] != "t", i))
+        self.server.preassigned_roles = {}
+        t_list: List[HybridPeer] = []
+        s_list: List[HybridPeer] = []
+        for i in order:
+            peer = self._new_peer(
+                host=self._peer_hosts[i],
+                capacity=capacities[i],
+                interest=interests[i] if interests is not None else None,
+            )
+            self.server.preassigned_roles[peer.address] = roles[i]
+            (t_list if roles[i] == "t" else s_list).append(peer)
+        if not t_list:
+            raise ValueError("build_bulk needs at least one t-peer")
+
+        # --- t-network: draw p_ids the way the server would, sort into
+        # a ring, set the pointers the join triangle would have set.
+        used_pids = set()
+        for peer in t_list:
+            pid = self.server.generate_pid(peer.address)
+            while pid in used_pids:
+                pid = self.server.generate_pid(peer.address)
+            used_pids.add(pid)
+            peer.p_id = pid
+        t_list.sort(key=lambda p: p.p_id)
+        n_t = len(t_list)
+        for j, peer in enumerate(t_list):
+            pred = t_list[(j - 1) % n_t]
+            suc = t_list[(j + 1) % n_t]
+            peer.role = "t"
+            peer.t_peer = peer.address
+            peer.predecessor, peer.predecessor_pid = pred.address, pred.p_id
+            peer.successor, peer.successor_pid = suc.address, suc.p_id
+            peer.segment_lo = pred.p_id
+            peer.joined = True
+            peer.join_latency = 0.0
+            self.server.ring.insert(peer.p_id, peer.address)
+            self.server.s_counts.setdefault(peer.address, 0)
+            if peer.coordinate is not None:
+                self.server.t_coords[peer.address] = tuple(peer.coordinate)
+        self.server.t_count = n_t
+        self.server.joins_served = n_t
+
+        # --- s-networks: balanced assignment via a heap (same smallest-
+        # count-then-address rule as the server's online policy, but
+        # O(log n_t) per join); other policies go through the server's
+        # own chooser.  Tree fill is breadth-first under the degree cap.
+        balanced = self.config.assignment == ASSIGN_BALANCED
+        heap = [(0, p.address) for p in t_list]
+        _heapq.heapify(heap)
+        slots: Dict[int, deque] = {p.address: deque([p.address]) for p in t_list}
+        for peer in s_list:
+            if balanced:
+                count, anchor = _heapq.heappop(heap)
+                _heapq.heappush(heap, (count + 1, anchor))
+            else:
+                anchor = self.server.choose_snetwork(peer.interest, peer.coordinate)
+            anchor_peer = self.peers[anchor]
+            queue = slots[anchor]
+            if self.config.connect_policy == CONNECT_STAR:
+                parent = anchor_peer
+            else:
+                while True:
+                    cand = self.peers[queue[0]]
+                    spare = self.config.delta - len(cand.children)
+                    if cand.role == "s":
+                        spare -= 1  # the cp link occupies one degree slot
+                        if not cand.children:
+                            spare = max(spare, 1)  # leaf takes its first child
+                    if spare > 0:
+                        parent = cand
+                        break
+                    queue.popleft()
+                queue.append(peer.address)
+            parent.children.add(peer.address)
+            peer.role = "s"
+            peer.cp = parent.address
+            peer.t_peer = anchor
+            peer.p_id = anchor_peer.p_id
+            peer.segment_lo = anchor_peer.predecessor_pid
+            peer.joined = True
+            peer.join_latency = 0.0
+            self.server.s_counts[anchor] = self.server.s_counts.get(anchor, 0) + 1
+            self.server.s_count += 1
+            self.server.joins_served += 1
+
         if self.config.ring_routing == ROUTING_FINGER:
             self.install_fingers()
         if self.config.mesh_extra_links > 0:

@@ -28,13 +28,22 @@ DEFAULT_PS_GRID: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
 
 @dataclass(frozen=True)
 class Scale:
-    """Workload size of one experiment run."""
+    """Workload size of one experiment run.
+
+    ``bulk_build`` selects :meth:`HybridSystem.build_bulk` -- direct
+    O(n log n) construction of the joined state instead of replaying
+    every join through the message protocol (O(n_t^2) events).  Results
+    at a given seed are deterministic either way, but not comparable
+    *across* the two build paths, so the large presets that need it set
+    it explicitly and the golden-baselined small scales leave it off.
+    """
 
     n_peers: int
     n_keys: int
     n_lookups: int
     seed: int = 0
     wave_size: int = 200
+    bulk_build: bool = False
 
     @classmethod
     def paper(cls, seed: int = 0) -> "Scale":
@@ -50,6 +59,26 @@ class Scale:
     def quick(cls, seed: int = 0) -> "Scale":
         """CI/benchmark scale (seconds per cell)."""
         return cls(n_peers=120, n_keys=400, n_lookups=400, seed=seed)
+
+    @classmethod
+    def large(cls, seed: int = 0) -> "Scale":
+        """10^5 peers: the first point past the paper's reach.
+
+        Requires the bulk build; pair with ``shards > 1`` (see
+        :mod:`repro.shard`) to spread the lookup phase across cores.
+        """
+        return cls(
+            n_peers=100_000, n_keys=20_000, n_lookups=5_000,
+            seed=seed, wave_size=500, bulk_build=True,
+        )
+
+    @classmethod
+    def huge(cls, seed: int = 0) -> "Scale":
+        """10^6 peers: the paper's "millions of users", literally."""
+        return cls(
+            n_peers=1_000_000, n_keys=50_000, n_lookups=10_000,
+            seed=seed, wave_size=1000, bulk_build=True,
+        )
 
     def with_seed(self, seed: int) -> "Scale":
         return replace(self, seed=seed)
@@ -98,14 +127,43 @@ def run_cell(
     crash_fraction: float = 0.0,
     settle_after_crash: float = 30_000.0,
     system_out: Optional[Dict[str, HybridSystem]] = None,
+    shards: int = 1,
 ) -> CellResult:
     """Build + populate + (crash) + look up; return the metric bundle.
 
     ``system_out["system"]`` receives the built system when a dict is
     passed, for experiments that need to inspect more than the bundle.
+    With ``shards > 1`` the cell executes on the sharded substrate
+    (:mod:`repro.shard`) -- bit-identical metrics, workers in parallel;
+    ``system_out`` then receives the shard diagnostics under
+    ``"shard_info"`` instead of a system object.
     """
+    if shards > 1:
+        from ..shard import check_shardable, run_cell_sharded
+
+        try:
+            check_shardable(config)
+        except ValueError:
+            # Sweep-wide shard settings (--shards / REPRO_SHARDS) must not
+            # break cells the sharded substrate cannot host (heartbeats,
+            # replication, walks): fall back to the single-process path,
+            # which is bit-identical anyway.
+            shards = 1
+        else:
+            info: Dict[str, object] = {}
+            result = run_cell_sharded(
+                config, scale, crash_fraction, settle_after_crash,
+                shards=shards,
+                info_out=info if system_out is not None else None,
+            )
+            if system_out is not None:
+                system_out["shard_info"] = info
+            return result
     system = HybridSystem(config, n_peers=scale.n_peers, seed=scale.seed)
-    system.build()
+    if scale.bulk_build:
+        system.build_bulk()
+    else:
+        system.build()
     addresses = [p.address for p in system.alive_peers()]
     workload = KeyWorkload.uniform(
         scale.n_keys, addresses, system.rngs.stream("workload")

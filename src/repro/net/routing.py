@@ -15,15 +15,19 @@ experiment.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
-from .topology import PhysicalTopology
+from .topology import NodeKind, PhysicalTopology
 
-__all__ = ["Router"]
+__all__ = ["Router", "HierRouter", "make_router", "DENSE_ROUTER_LIMIT"]
+
+# Above this host count the dense all-pairs matrices (O(n^2) doubles)
+# stop fitting in memory and make_router switches to HierRouter.
+DENSE_ROUTER_LIMIT = 4096
 
 
 class Router:
@@ -102,3 +106,275 @@ class Router:
     def hop_count(self, src: int, dst: int) -> int:
         """Number of physical links on the path."""
         return len(self.path(src, dst)) - 1
+
+    def min_edge_latency(self) -> float:
+        """Cheapest physical link (ms): a lower bound on any one-hop
+        propagation delay, used as the conservative-sync lookahead."""
+        return min(lat for _, _, lat in self.topology.edges)
+
+
+class _HierRow:
+    """Lazy latency row of a :class:`HierRouter` source host.
+
+    Quacks like the plain list :meth:`Router.latency_row` returns --
+    ``row[dst]`` -- without materializing n doubles per source.  For a
+    same-stub-domain destination the intra-domain distance applies;
+    everything else decomposes over the single gateway edge of each stub
+    domain (see :class:`HierRouter`).
+    """
+
+    __slots__ = ("_base", "_tt", "_tindex", "_to_transit", "_local")
+
+    def __init__(
+        self,
+        base: float,
+        tt: List[float],
+        tindex: List[int],
+        to_transit: List[float],
+        local: Dict[int, float],
+    ) -> None:
+        self._base = base
+        self._tt = tt
+        self._tindex = tindex
+        self._to_transit = to_transit
+        self._local = local
+
+    def __getitem__(self, dst: int) -> float:
+        d = self._local.get(dst)
+        if d is not None:
+            return d
+        return self._base + self._tt[self._tindex[dst]] + self._to_transit[dst]
+
+
+class HierRouter:
+    """Hierarchical routing table for large transit-stub topologies.
+
+    The dense :class:`Router` stores O(n^2) doubles -- 80 GB at 10^5
+    hosts -- which caps cell sizes long before the event loop does.
+    Transit-stub topologies don't need it: by construction
+    (:func:`~repro.net.topology.generate_transit_stub`) every stub
+    domain attaches to the backbone through exactly *one* gateway edge,
+    so any path leaving a stub domain crosses that edge, and any
+    excursion from the transit core into a stub domain is a detour.
+    Shortest paths therefore decompose exactly:
+
+    ``lat(u, v) = d_D(u, g_D) + w_D  +  T(t_D, t_E)  +  w_E + d_E(g_E, v)``
+
+    where ``d_X`` is the all-pairs distance *inside* stub domain ``X``
+    (a <=64-node subgraph), ``g_X``/``w_X`` its gateway node and gateway
+    edge weight, and ``T`` the all-pairs distance over the transit-only
+    subgraph.  Memory is O(n_t^2 + sum |D|^2) instead of O(n^2).
+
+    The decomposition yields the same shortest-path *lengths* as the
+    dense router up to IEEE summation association; ``make_router`` only
+    selects this class above :data:`DENSE_ROUTER_LIMIT`, where no dense
+    reference exists, and every shard of a sharded run uses the same
+    implementation, so determinism across shard counts is unaffected.
+    """
+
+    def __init__(self, topology: PhysicalTopology) -> None:
+        self.topology = topology
+        n = topology.n
+        kind = topology.kind
+        domain = topology.domain
+        attach = topology.transit_attachment
+
+        # --- transit core ------------------------------------------------
+        transit = [i for i in range(n) if kind[i] is NodeKind.TRANSIT]
+        self._transit = transit
+        t_of = {node: i for i, node in enumerate(transit)}
+        n_t = len(transit)
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        # Per-stub-domain edge lists and the one gateway edge.
+        dom_edges: Dict[int, List[Tuple[int, int, float]]] = {}
+        gateway: Dict[int, Tuple[int, float]] = {}  # domain -> (gateway node, w)
+        for u, v, lat in topology.edges:
+            u_t = kind[u] is NodeKind.TRANSIT
+            v_t = kind[v] is NodeKind.TRANSIT
+            if u_t and v_t:
+                a, b = t_of[u], t_of[v]
+                rows.extend((a, b))
+                cols.extend((b, a))
+                vals.extend((lat, lat))
+            elif u_t != v_t:
+                stub = v if u_t else u
+                d = domain[stub]
+                if d in gateway:
+                    raise ValueError(
+                        f"stub domain {d} has multiple gateway edges; "
+                        "HierRouter requires the single-gateway transit-stub form"
+                    )
+                gateway[d] = (stub, lat)
+            else:
+                if domain[u] != domain[v]:  # pragma: no cover - generator invariant
+                    raise ValueError("stub edge crosses domains")
+                dom_edges.setdefault(domain[u], []).append((u, v, lat))
+        core = csr_matrix((vals, (rows, cols)), shape=(n_t, n_t))
+        tt_dist, tt_pred = dijkstra(core, directed=False, return_predecessors=True)
+        if np.isinf(tt_dist).any():
+            raise ValueError("transit core is not connected")
+        self._tt = tt_dist
+        self._tt_pred = tt_pred
+        self._tt_rows: Dict[int, List[float]] = {}
+
+        # --- stub domains ------------------------------------------------
+        # Members in node order; intra-domain all-pairs per domain.
+        members: Dict[int, List[int]] = {}
+        for i in range(n):
+            if kind[i] is NodeKind.STUB:
+                members.setdefault(domain[i], []).append(i)
+        self._members = members
+        self._intra: Dict[int, np.ndarray] = {}
+        self._intra_pred: Dict[int, np.ndarray] = {}
+        self._gateway = gateway
+        # Per-host: index of the attachment transit node, and the exact
+        # distance to it (0.0 for transit nodes).
+        tindex = [0] * n
+        to_transit = [0.0] * n
+        for i in range(n):
+            tindex[i] = t_of[attach[i]]
+        for d, mem in members.items():
+            if d not in gateway:
+                raise ValueError(f"stub domain {d} has no gateway edge")
+            g, w = gateway[d]
+            idx = {node: j for j, node in enumerate(mem)}
+            k = len(mem)
+            drows: List[int] = []
+            dcols: List[int] = []
+            dvals: List[float] = []
+            for u, v, lat in dom_edges.get(d, ()):
+                a, b = idx[u], idx[v]
+                drows.extend((a, b))
+                dcols.extend((b, a))
+                dvals.extend((lat, lat))
+            sub = csr_matrix((dvals, (drows, dcols)), shape=(k, k))
+            dist, pred = dijkstra(sub, directed=False, return_predecessors=True)
+            if np.isinf(dist).any():
+                raise ValueError(f"stub domain {d} is not internally connected")
+            self._intra[d] = dist
+            self._intra_pred[d] = pred
+            grow = dist[idx[g]]
+            for node in mem:
+                to_transit[node] = float(grow[idx[node]]) + w
+        self._dom_index: Dict[int, Dict[int, int]] = {
+            d: {node: j for j, node in enumerate(mem)} for d, mem in members.items()
+        }
+        self._tindex = tindex
+        self._to_transit = to_transit
+        self._rows: Dict[int, _HierRow] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    def _tt_row(self, ti: int) -> List[float]:
+        row = self._tt_rows.get(ti)
+        if row is None:
+            row = self._tt_rows[ti] = self._tt[ti].tolist()
+        return row
+
+    def latency_row(self, src: int) -> _HierRow:
+        """Lazy row object supporting ``row[dst]`` (cached per source)."""
+        row = self._rows.get(src)
+        if row is not None:
+            return row
+        topo = self.topology
+        local: Dict[int, float] = {}
+        if topo.kind[src] is NodeKind.STUB:
+            d = topo.domain[src]
+            idx = self._dom_index[d]
+            drow = self._intra[d][idx[src]]
+            for node, j in idx.items():
+                local[node] = float(drow[j])
+            base = self._to_transit[src]
+        else:
+            local[src] = 0.0
+            base = 0.0
+        row = _HierRow(
+            base, self._tt_row(self._tindex[src]), self._tindex, self._to_transit, local
+        )
+        self._rows[src] = row
+        return row
+
+    def latency(self, src: int, dst: int) -> float:
+        """Propagation delay (ms) of the shortest path ``src -> dst``."""
+        return self.latency_row(src)[dst]
+
+    def min_edge_latency(self) -> float:
+        """Cheapest physical link (ms); see :meth:`Router.min_edge_latency`."""
+        return min(lat for _, _, lat in self.topology.edges)
+
+    # ------------------------------------------------------------------
+    # Paths (cold path: link-stress accounting only)
+    # ------------------------------------------------------------------
+    def _intra_path(self, d: int, src: int, dst: int) -> List[int]:
+        mem = self._members[d]
+        idx = self._dom_index[d]
+        pred = self._intra_pred[d]
+        nodes = [dst]
+        cur = idx[dst]
+        s = idx[src]
+        while cur != s:
+            cur = int(pred[s, cur])
+            nodes.append(mem[cur])
+        nodes.reverse()
+        return nodes
+
+    def _transit_path(self, src_t: int, dst_t: int) -> List[int]:
+        transit = self._transit
+        pred = self._tt_pred
+        nodes = [transit[dst_t]]
+        cur = dst_t
+        while cur != src_t:
+            cur = int(pred[src_t, cur])
+            nodes.append(transit[cur])
+        nodes.reverse()
+        return nodes
+
+    def path(self, src: int, dst: int) -> List[int]:
+        """Node sequence of the shortest path, inclusive of endpoints."""
+        if src == dst:
+            return [src]
+        topo = self.topology
+        src_stub = topo.kind[src] is NodeKind.STUB
+        dst_stub = topo.kind[dst] is NodeKind.STUB
+        if src_stub and dst_stub and topo.domain[src] == topo.domain[dst]:
+            return self._intra_path(topo.domain[src], src, dst)
+        head: List[int] = []
+        if src_stub:
+            d = topo.domain[src]
+            head = self._intra_path(d, src, self._gateway[d][0])
+        tail: List[int] = []
+        if dst_stub:
+            e = topo.domain[dst]
+            tail = self._intra_path(e, self._gateway[e][0], dst)
+        core = self._transit_path(self._tindex[src], self._tindex[dst])
+        return head + core + tail
+
+    def path_edges(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """Edges of the shortest path as sorted (u, v) pairs."""
+        nodes = self.path(src, dst)
+        return [tuple(sorted((a, b))) for a, b in zip(nodes, nodes[1:])]  # type: ignore[misc]
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of physical links on the path."""
+        return len(self.path(src, dst)) - 1
+
+
+def make_router(
+    topology: PhysicalTopology, dense_limit: Optional[int] = None
+):
+    """Pick the routing implementation for a topology's size.
+
+    Dense :class:`Router` (exact, list-indexed rows) up to
+    ``dense_limit`` hosts; :class:`HierRouter` beyond.  The default
+    limit keeps every existing experiment scale -- and therefore all
+    golden determinism baselines -- on the dense implementation.
+    """
+    limit = DENSE_ROUTER_LIMIT if dense_limit is None else dense_limit
+    if topology.n <= limit:
+        return Router(topology)
+    return HierRouter(topology)

@@ -288,6 +288,7 @@ def config_for_size(
     target_nodes: int,
     stub_nodes_per_domain: int = 8,
     stub_domains_per_transit_node: int = 3,
+    max_transit_nodes: int = 4096,
 ) -> TransitStubConfig:
     """Pick a configuration whose total size approximates ``target_nodes``.
 
@@ -295,10 +296,24 @@ def config_for_size(
     network of roughly N nodes" (the paper uses N = 1000).  The result's
     :attr:`TransitStubConfig.total_nodes` is >= ``target_nodes`` whenever
     possible so peer populations can always be placed.
+
+    Past ~10^5 nodes the default shape would put tens of thousands of
+    nodes in the transit core, whose all-pairs table is the quadratic
+    term in :class:`~repro.net.routing.HierRouter` memory (and cubic in
+    build time).  When the core would exceed ``max_transit_nodes`` the
+    stub domains grow instead -- their cost is only the sum of squared
+    *domain* sizes -- leaving every paper-scale configuration (which
+    stays far below the cap) byte-for-byte unchanged.
     """
     if target_nodes < 2:
         raise ValueError("target_nodes must be >= 2")
     per_transit = 1 + stub_domains_per_transit_node * stub_nodes_per_domain
+    if -(-target_nodes // per_transit) > max_transit_nodes:
+        need_per_transit = -(-target_nodes // max_transit_nodes)
+        stub_nodes_per_domain = -(
+            -(need_per_transit - 1) // stub_domains_per_transit_node
+        )
+        per_transit = 1 + stub_domains_per_transit_node * stub_nodes_per_domain
     total_transit = max(2, -(-target_nodes // per_transit))  # ceil division
     # Split transit nodes across domains of ~4.
     transit_domains = max(1, total_transit // 4)

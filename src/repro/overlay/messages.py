@@ -354,12 +354,19 @@ class StoreRequest(Message):
 
 @dataclass(slots=True)
 class SpreadStore(Message):
-    """Placement scheme 2: random spreading among t-peer's neighbors."""
+    """Placement scheme 2: random spreading among t-peer's neighbors.
+
+    ``write_id`` rides along like on :class:`StoreRequest`: >= 0 means
+    the origin is waiting for a landed ack from whichever peer the
+    spreading walk finally picks; -1 (the wire default) keeps the
+    fire-and-forget semantics for pre-existing senders.
+    """
 
     key: str = ""
     value: Any = None
     d_id: int = 0
     origin: int = -1
+    write_id: int = -1
 
     # Constant size: a plain class attribute avoids a property call on
     # the transport hot path.

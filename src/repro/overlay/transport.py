@@ -160,6 +160,14 @@ class Transport(TransportBase):
         # wants("transport.send") cached against the bus version.
         self._trace_version = -1
         self._trace_sends = False
+        # Sharded execution hook (repro.shard): when set, called with
+        # (deliver_time, dst_address, msg) after the delay model has run;
+        # returning True means the destination lives on another shard and
+        # the delivery was captured for cross-shard forwarding instead of
+        # being scheduled on the local heap.  Sender-side accounting
+        # (messages_sent, traces, stress, type counts) has already
+        # happened at that point, exactly as in the single-process run.
+        self._shard_capture: Optional[Callable[[float, int, Message], bool]] = None
 
     # ------------------------------------------------------------------
     # Registry
@@ -300,6 +308,9 @@ class Transport(TransportBase):
         # message): ``prop >= min_latency > 0`` so the negative-delay
         # guard is statically satisfied.
         engine = self._engine
+        capture = self._shard_capture
+        if capture is not None and capture(engine._now + prop, dst_address, msg):
+            return True
         heappush(engine._heap, (engine._now + prop, engine._seq, self._deliver, (dst_address, msg)))
         engine._seq += 1
         engine._live += 1
@@ -375,6 +386,10 @@ class Transport(TransportBase):
                     kind=kind,
                     delay=prop,
                 )
+            capture = self._shard_capture
+            if capture is not None and capture(now + prop, dst_address, msg):
+                sent += 1
+                continue
             append((now + prop, deliver, (dst_address, msg)))
             sent += 1
         attempted = sent + dropped

@@ -32,6 +32,7 @@ from .sim.engine import Engine
 
 __all__ = [
     "PROFILE_ENV",
+    "PROFILE_DIR_ENV",
     "PerfReport",
     "measure",
     "maybe_profile",
@@ -41,6 +42,13 @@ __all__ = [
 #: Set this environment variable to ``1`` to wrap :func:`maybe_profile`
 #: blocks in cProfile and dump the hottest functions on exit.
 PROFILE_ENV = "REPRO_PROFILE"
+
+#: When set (alongside ``REPRO_PROFILE=1``), each profiled block also
+#: dumps binary pstats to ``$REPRO_PROFILE_DIR/profile<tag>.pstats`` --
+#: one file per block, so the shard workers of a sharded run each leave
+#: their own ``profile-shard<N>.pstats`` instead of vanishing into a
+#: parent-only profile.
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
 
 
 @dataclass
@@ -131,12 +139,17 @@ def maybe_profile(
     sort: str = "tottime",
     limit: int = 25,
     stream=None,
+    tag: str = "",
 ) -> Iterator[Optional[cProfile.Profile]]:
     """cProfile a block iff ``REPRO_PROFILE=1``; otherwise a no-op.
 
     Yields the active :class:`cProfile.Profile` (or None when disabled)
     and prints the ``limit`` hottest functions, sorted by ``sort``, to
-    ``stream`` (default stderr) on exit.
+    ``stream`` (default stderr) on exit.  ``tag`` labels the block in
+    the printed header and in the per-block pstats file written when
+    ``REPRO_PROFILE_DIR`` is set -- that is how each worker process of a
+    sharded run leaves its own ``profile-shard<N>.pstats`` instead of
+    only the parent getting profiled.
     """
     if not profiling_enabled():
         yield None
@@ -147,6 +160,14 @@ def maybe_profile(
         yield profiler
     finally:
         profiler.disable()
+        dump_dir = os.environ.get(PROFILE_DIR_ENV, "")
+        if dump_dir:
+            os.makedirs(dump_dir, exist_ok=True)
+            pstats.Stats(profiler).dump_stats(
+                os.path.join(dump_dir, f"profile{tag}.pstats")
+            )
         out = stream if stream is not None else sys.stderr
+        if tag:
+            print(f"--- profile {tag} ---", file=out)
         stats = pstats.Stats(profiler, stream=out)
         stats.sort_stats(sort).print_stats(limit)

@@ -118,6 +118,25 @@ class ReplicationMixin:
         self._write_watch_seq += 1
         wid = self._write_watch_seq
         self._write_watchers[wid] = (on_verdict, self.engine.now)
+        if not self._replication_on:
+            # k == 1: same routing as :meth:`store` (placement spreading
+            # included), but the landing peer reports back through
+            # ``write_id`` so a daemon can hold its put ack until the
+            # single copy actually exists instead of acking on send.
+            if self.owns_locally(d_id):
+                self._insert_as_holder(
+                    key, value, d_id, origin=self.address, write_id=wid
+                )
+            else:
+                target = self.t_peer if self.role == "s" else self.ring_next_hop(d_id)
+                self.send(
+                    target,
+                    StoreRequest(
+                        key=key, value=value, d_id=d_id,
+                        origin=self.address, write_id=wid,
+                    ),
+                )
+            return wid, d_id
         if self.role == "t" and self.owns(d_id):
             self._replica_ingest(key, value, d_id, origin=self.address, origin_wid=wid)
         elif self.role == "s":

@@ -535,13 +535,49 @@ class PeerNode(NodeDaemon):
             return self._do_get_piece(msg)
         return await super().handle_client(msg)
 
+    #: Wait budget for the k == 1 landed ack: the store travels at most
+    #: a handful of ring/spread hops, so this bounds loss, not load.
+    PUT_LANDED_WAIT_S = 10.0
+
     async def _do_put(self, msg: ClientPut) -> ClientReply:
         if not self.peer.joined:
             return ClientReply(ok=False, error="node has not joined yet")
         if self.config.replication_factor > 1:
             return await self._do_put_durable(msg)
-        d_id = self.peer.store(msg.key, msg.value)
-        return ClientReply(ok=True, payload={"key": msg.key, "d_id": d_id})
+        # k == 1: ok only after the single copy lands at its holder.
+        # Acking on send loses the write if the holder dies with the
+        # store in flight, and lets an immediate lookup crowd outrun a
+        # large value's transfer (the bench_swarm wait_stored() polling
+        # workaround this replaces).  Re-sending after a timeout is
+        # idempotent: same d_id, same routing, insert overwrites.
+        loop = asyncio.get_running_loop()
+        wait_s = self.PUT_LANDED_WAIT_S
+        last_error = "store not acknowledged"
+        for _attempt in range(2):
+            future: asyncio.Future = loop.create_future()
+
+            def _landed(committed: bool, latency_ms: float, fut=future) -> None:
+                if not fut.done():
+                    fut.set_result((committed, latency_ms))
+
+            wid, d_id = self.peer.store_durable(msg.key, msg.value, _landed)
+            try:
+                committed, latency_ms = await asyncio.wait_for(future, wait_s)
+            except asyncio.TimeoutError:
+                self.peer.cancel_write_watch(wid)
+                last_error = f"store did not land within {wait_s:.1f}s"
+                continue
+            if committed:
+                return ClientReply(
+                    ok=True,
+                    payload={
+                        "key": msg.key,
+                        "d_id": d_id,
+                        "latency_ms": round(latency_ms, 3),
+                    },
+                )
+            last_error = "store rejected"  # pragma: no cover - k==1 always lands
+        return ClientReply(ok=False, error=f"put {msg.key!r}: {last_error}")
 
     async def _do_put_durable(self, msg: ClientPut) -> ClientReply:
         """Quorum-acknowledged put (repro.replica).

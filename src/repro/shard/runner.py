@@ -1,0 +1,450 @@
+"""Sharded cell executor: one cell, N workers, bit-identical results.
+
+:func:`run_cell_sharded` runs the same five phases as
+:func:`repro.experiments.common.run_cell` but splits the lookup phase
+across shard workers:
+
+1. **Replicate** -- build + populate + crash + settle are deterministic
+   functions of (config, scale), so they run once and every worker gets
+   the finished state: the fork backend builds in the parent and forks
+   (copy-on-write, no pickling); the inline backend -- used where fork
+   is unavailable, and by the sync unit tests -- builds one replica per
+   logical shard from the same seed.
+2. **Partition** -- whole s-networks are assigned to shards
+   (:mod:`repro.shard.partition`); each worker compacts the peers it
+   does not own to stubs and installs the transport capture hook.
+3. **Conservative lookup waves** -- the coordinator replays
+   ``run_lookups``'s wave pacing: it pins every shard's clock to the
+   wave timestamp, lets the owners issue their share, then negotiates
+   null-message windows (:mod:`repro.shard.sync`) until the wave
+   resolves.  Cross-shard messages travel coordinator-mediated, sorted
+   by (delivery time, origin shard, capture order), so every delivery
+   happens in global timestamp order.
+4. **Merge** -- per-shard registries are stitched back into one
+   :class:`~repro.core.lookup.QueryRegistry` in global pair order, with
+   foreign contact counts folded in and the metric overrun past the
+   single-process stopping point trimmed
+   (:meth:`~repro.shard.state.ShardQueryRegistry.trim`), which is what
+   makes the resulting :class:`CellResult` bit-identical to
+   ``run_cell``'s.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time as _time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import SEARCH_WALK, SNETWORK_BITTORRENT, HybridConfig
+from ..core.hybrid import HybridSystem
+from ..core.lookup import PENDING, QueryRecord, QueryRegistry
+from ..workloads.keys import KeyWorkload
+from .partition import partition_snetworks, shard_loads
+from .state import SHARD_ID_BITS, CompactPeerState, ShardQueryRegistry
+from .sync import NullMessageSync, ShardSyncError
+from .worker import ShardWorker, serve
+
+__all__ = [
+    "SHARDS_ENV",
+    "resolve_shards",
+    "check_shardable",
+    "run_cell_sharded",
+    "merge_registries",
+]
+
+#: Default shard count for drivers that take ``--shards`` (0/unset = 1).
+SHARDS_ENV = "REPRO_SHARDS"
+
+
+def resolve_shards(value: Optional[int] = None) -> int:
+    """Shard count from an explicit value or the REPRO_SHARDS variable."""
+    if value is None:
+        raw = os.environ.get(SHARDS_ENV, "").strip()
+        value = int(raw) if raw else 1
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"shard count must be >= 1, got {value}")
+    return value
+
+
+def check_shardable(config: HybridConfig) -> None:
+    """Reject configurations the sharded executor does not support.
+
+    The partition argument requires the lookup phase to be the only
+    thing running: periodic protocol machinery (heartbeats, replica
+    anti-entropy) and the alternative data planes that keep background
+    state flowing are out of scope and fail loudly here rather than
+    diverging silently.
+    """
+    problems = []
+    if config.heartbeats_enabled:
+        problems.append("heartbeats_enabled")
+    if config.replication_factor > 1:
+        problems.append("replication_factor > 1")
+    if config.replica_sync_period > 0:
+        problems.append("replica_sync_period > 0")
+    if config.search_mode == SEARCH_WALK:
+        problems.append("search_mode == 'walk'")
+    if config.snetwork_style == SNETWORK_BITTORRENT:
+        problems.append("snetwork_style == 'bittorrent'")
+    if getattr(config, "swarm_enabled", False):
+        problems.append("swarm_enabled")
+    if problems:
+        raise ValueError(
+            "configuration not supported by the sharded executor: "
+            + ", ".join(problems)
+        )
+
+
+# ----------------------------------------------------------------------
+# Replicated construction phases (must mirror run_cell exactly)
+# ----------------------------------------------------------------------
+def _build_phases(
+    config: HybridConfig,
+    scale,
+    crash_fraction: float,
+    settle_after_crash: float,
+) -> Tuple[HybridSystem, List[Tuple[int, str]]]:
+    """Build + populate + crash + settle + sample, as run_cell does."""
+    system = HybridSystem(
+        config, n_peers=scale.n_peers, seed=scale.seed,
+        queries=ShardQueryRegistry(),
+    )
+    if getattr(scale, "bulk_build", False):
+        system.build_bulk()
+    else:
+        system.build()
+    addresses = [p.address for p in system.alive_peers()]
+    workload = KeyWorkload.uniform(
+        scale.n_keys, addresses, system.rngs.stream("workload")
+    )
+    system.populate(workload.store_plan())
+    if crash_fraction > 0.0:
+        system.crash_random_fraction(crash_fraction)
+        system.settle(settle_after_crash)
+    alive = [p.address for p in system.alive_peers()]
+    pairs = list(workload.sample_lookups(scale.n_lookups, alive))
+    return system, pairs
+
+
+# ----------------------------------------------------------------------
+# Worker backends
+# ----------------------------------------------------------------------
+class _Handle:
+    """Uniform request/reply surface over a worker backend."""
+
+    def send(self, request: tuple) -> None:
+        raise NotImplementedError
+
+    def recv(self) -> dict:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+
+class _InlineHandle(_Handle):
+    """A logical shard living in this process (no fork available)."""
+
+    def __init__(self, worker: ShardWorker) -> None:
+        self._worker = worker
+        self._reply: Optional[tuple] = None
+
+    def send(self, request: tuple) -> None:
+        self._reply = self._worker.handle(request)
+
+    def recv(self) -> dict:
+        status, payload = self._reply
+        self._reply = None
+        return payload
+
+    def stop(self) -> None:
+        self._reply = None
+
+
+class _ForkHandle(_Handle):
+    """A forked worker process behind a pipe."""
+
+    def __init__(self, conn, process) -> None:
+        self._conn = conn
+        self._process = process
+
+    def send(self, request: tuple) -> None:
+        self._conn.send(request)
+
+    def recv(self) -> dict:
+        status, payload = self._conn.recv()
+        if status != "ok":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def stop(self) -> None:
+        try:
+            self._conn.send(("stop",))
+            self._conn.close()
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=30)
+        if self._process.is_alive():  # pragma: no cover - hung worker
+            self._process.terminate()
+            self._process.join(timeout=5)
+
+
+def _serve_forked(conn, system, shard_index, n_shards, owner, pairs) -> None:
+    """Entry point of a forked worker (inherits the built system)."""
+    worker = ShardWorker(system, shard_index, n_shards, owner, pairs)
+    worker.compact()
+    try:
+        serve(conn, worker)
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+def _coordinate(
+    handles: Sequence[_Handle],
+    sync: NullMessageSync,
+    n_pairs: int,
+    wave_size: int,
+    start_time: float,
+) -> Tuple[float, int, int]:
+    """Drive the wave/window protocol; returns (cut_time, waves, rounds).
+
+    ``cut_time`` is the global resolution timestamp of the last wave --
+    exactly where the single-process run's clock stops.
+    """
+    n_shards = len(handles)
+    wave_time = start_time
+    fold_time = float("-inf")
+    global_max_end = start_time
+    waves = rounds = 0
+    lo = 0
+    while lo < n_pairs:
+        hi = min(lo + wave_size, n_pairs)
+        unresolved = 0
+        for handle in handles:
+            handle.send(("issue", wave_time, lo, hi, fold_time))
+        for shard, handle in enumerate(handles):
+            reply = handle.recv()
+            sync.note_state(shard, reply["next_time"])
+            sync.add_messages(shard, reply["outbox"])
+            unresolved += reply["unresolved"]
+            if reply["max_end"] > global_max_end:
+                global_max_end = reply["max_end"]
+        while unresolved > 0:
+            w_end = sync.window_end()
+            if w_end is None:
+                raise ShardSyncError(
+                    f"{unresolved} lookups unresolved but no shard has "
+                    "pending events or in-flight messages"
+                )
+            for shard, handle in enumerate(handles):
+                handle.send(("window", w_end, sync.take_inbox(shard)))
+            unresolved = 0
+            for shard, handle in enumerate(handles):
+                reply = handle.recv()
+                sync.note_state(shard, reply["next_time"])
+                sync.add_messages(shard, reply["outbox"])
+                unresolved += reply["unresolved"]
+                if reply["max_end"] > global_max_end:
+                    global_max_end = reply["max_end"]
+            rounds += 1
+        wave_time = fold_time = global_max_end
+        waves += 1
+        lo = hi
+    return global_max_end, waves, rounds
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+def merge_registries(
+    shard_results: Sequence[dict],
+    pairs: Sequence[Tuple[int, str]],
+    owner: Dict[int, int],
+) -> QueryRegistry:
+    """Stitch per-shard registries into one, in global pair order.
+
+    Each shard started its owned lookups in global pair order, so
+    walking the pairs and consuming each owner's record stream in turn
+    reproduces the single-process id assignment exactly; foreign
+    contact counts are then folded onto the records they belong to.
+    """
+    merged = QueryRegistry()
+    streams = [iter(r["records"]) for r in shard_results]
+    # (shard, local index) -> global query id, for foreign fold-in.
+    to_global: List[Dict[int, int]] = [dict() for _ in shard_results]
+    for g, (origin, key) in enumerate(pairs):
+        shard = owner[origin]
+        (
+            local_idx, rec_origin, rec_key, d_id, start_time, local,
+            status, end_time, holder, refloods, via_bypass, hops,
+        ) = next(streams[shard])
+        if rec_origin != origin or rec_key != key:
+            raise RuntimeError(
+                f"shard {shard} record stream out of order at pair {g}: "
+                f"expected ({origin}, {key!r}), got ({rec_origin}, {rec_key!r})"
+            )
+        to_global[shard][local_idx] = g
+        rec = QueryRecord(
+            query_id=g, origin=origin, key=key, d_id=d_id,
+            start_time=start_time, local=local, status=status,
+            end_time=end_time, holder=holder, refloods=refloods,
+            via_bypass=via_bypass, hops=hops, registry=merged,
+        )
+        merged._records[g] = rec
+        merged._contacts.append(shard_results[shard]["contacts"][local_idx])
+        merged._duplicates.append(shard_results[shard]["duplicates"][local_idx])
+        if status == PENDING:
+            merged.unresolved += 1
+    merged._next_id = len(pairs)
+    for result in shard_results:
+        for kind, column in (
+            ("foreign_contacts", merged._contacts),
+            ("foreign_duplicates", merged._duplicates),
+        ):
+            for qid, count in result[kind].items():
+                shard = qid >> SHARD_ID_BITS
+                local_idx = qid - (shard << SHARD_ID_BITS)
+                column[to_global[shard][local_idx]] += count
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_cell_sharded(
+    config: HybridConfig,
+    scale,
+    crash_fraction: float = 0.0,
+    settle_after_crash: float = 30_000.0,
+    shards: int = 2,
+    mode: Optional[str] = None,
+    info_out: Optional[dict] = None,
+):
+    """Run one sweep cell across ``shards`` workers; returns CellResult.
+
+    ``mode`` selects the backend: "fork" (build once, fork workers --
+    the default where the platform supports it), "inline" (logical
+    shards in-process, each building its own replica; slower, used for
+    tests and as the portable fallback).  ``info_out`` receives shard
+    diagnostics (loads, window rounds, event/message totals, peak RSS).
+    """
+    from ..experiments.common import CellResult
+
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    check_shardable(config)
+    if mode is None:
+        # Daemonic processes (e.g. some pool workers) cannot fork
+        # children; the inline backend is the universal fallback.
+        can_fork = (
+            "fork" in multiprocessing.get_all_start_methods()
+            and not multiprocessing.current_process().daemon
+        )
+        mode = "fork" if can_fork else "inline"
+    if mode not in ("fork", "inline"):
+        raise ValueError(f"unknown shard mode {mode!r}")
+
+    build_t0 = _time.perf_counter()
+    system, pairs = _build_phases(
+        config, scale, crash_fraction, settle_after_crash
+    )
+    build_wall = _time.perf_counter() - build_t0
+
+    compact = CompactPeerState(system)
+    owner = partition_snetworks(compact, shards, system.server.address)
+    n_t, n_s = compact.counts()
+    lookahead = max(
+        system.router.min_edge_latency(), system.transport.min_latency
+    )
+    start_time = system.engine.now
+    build_events = system.engine.events_executed
+
+    lookup_t0 = _time.perf_counter()
+    handles: List[_Handle] = []
+    try:
+        if mode == "fork":
+            ctx = multiprocessing.get_context("fork")
+            for shard in range(shards):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_serve_forked,
+                    args=(child_conn, system, shard, shards, owner, pairs),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                handles.append(_ForkHandle(parent_conn, process))
+        else:
+            for shard in range(shards):
+                if shard == 0:
+                    replica = system
+                else:
+                    replica, _ = _build_phases(
+                        config, scale, crash_fraction, settle_after_crash
+                    )
+                worker = ShardWorker(replica, shard, shards, owner, pairs)
+                worker.compact()
+                handles.append(_InlineHandle(worker))
+
+        sync = NullMessageSync(shards, lookahead)
+        cut_time, waves, rounds = _coordinate(
+            handles, sync, len(pairs), scale.wave_size, start_time
+        )
+        results = []
+        for handle in handles:
+            handle.send(("finish", cut_time))
+        for handle in handles:
+            results.append(handle.recv())
+    finally:
+        for handle in handles:
+            handle.stop()
+    lookup_wall = _time.perf_counter() - lookup_t0
+
+    merged = merge_registries(results, pairs, owner)
+    stats = merged.stats()
+    if info_out is not None:
+        try:
+            import resource
+            parent_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        except Exception:  # pragma: no cover - non-POSIX
+            parent_rss_kb = 0
+        info_out.update({
+            "shards": shards,
+            "mode": mode,
+            "lookahead_ms": lookahead,
+            "waves": waves,
+            "window_rounds": rounds,
+            "cut_time_ms": cut_time,
+            "shard_loads": shard_loads(compact, owner, shards),
+            "build_events": build_events,
+            "lookup_events_per_shard": [r["events"] for r in results],
+            "events_total": build_events + sum(r["events"] for r in results),
+            "messages_sent": [r["messages_sent"] for r in results],
+            "messages_delivered": [r["messages_delivered"] for r in results],
+            "build_wall_seconds": build_wall,
+            "lookup_wall_seconds": lookup_wall,
+            "peak_rss_kb": {
+                "parent": parent_rss_kb,
+                "workers": [r["peak_rss_kb"] for r in results],
+            },
+            "registry": merged,
+            "peer_state": compact,
+        })
+    return CellResult(
+        p_s=config.p_s,
+        failure_ratio=stats.failure_ratio,
+        mean_latency=stats.mean_latency,
+        median_latency=stats.median_latency,
+        connum=stats.connum,
+        mean_contacts=stats.mean_contacts_per_lookup,
+        successes=stats.successes,
+        failures=stats.failures,
+        n_t_peers=n_t,
+        n_s_peers=n_s,
+    )

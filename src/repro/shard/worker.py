@@ -1,0 +1,194 @@
+"""One shard of a sharded cell run.
+
+A :class:`ShardWorker` wraps a fully built :class:`HybridSystem` whose
+construction phases (build, populate, crash, settle) already ran -- in
+the fork backend every worker inherits the *same* built system from the
+parent; in the inline backend each logical shard builds its own
+identical replica from the seed.  From that point the worker:
+
+* installs the transport's shard-capture hook so deliveries to peers
+  owned by other shards are buffered instead of scheduled locally;
+* optionally compacts non-owned peers to :class:`PeerStub` residues,
+  freeing their protocol state (databases, trees, caches);
+* answers the coordinator's three requests -- ``issue`` (pin the clock
+  to the wave timestamp and start the owned lookups of the wave),
+  ``window`` (schedule inbound cross-shard deliveries, run everything
+  strictly below the negotiated barrier), and ``finish`` (trim the
+  metric overrun and export records/counters for the merge).
+
+The request/response loop is transport-agnostic: :func:`serve` speaks
+it over a multiprocessing pipe, the inline backend calls
+:meth:`ShardWorker.handle` directly.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..perf import maybe_profile
+from .state import PeerStub
+
+__all__ = ["ShardWorker", "serve"]
+
+
+class ShardWorker:
+    """Executes the lookup phase for one shard's peers."""
+
+    def __init__(
+        self,
+        system,
+        shard_index: int,
+        n_shards: int,
+        owner: Dict[int, int],
+        pairs: Sequence[Tuple[int, str]],
+    ) -> None:
+        self.system = system
+        self.engine = system.engine
+        self.shard_index = int(shard_index)
+        self.n_shards = int(n_shards)
+        self.owner = owner
+        self.pairs = pairs
+        self.registry = system.queries
+        self.registry.configure(self.shard_index, self.engine)
+        # Captured cross-shard deliveries since the last reply:
+        # (deliver_time, dst_shard, dst_address, msg).
+        self._outbox: List[tuple] = []
+        # Counter baselines: construction-phase work is replicated in
+        # every worker, so only lookup-phase deltas are reported.
+        transport = system.transport
+        self._events0 = self.engine.events_executed
+        self._sent0 = transport.messages_sent
+        self._delivered0 = transport.messages_delivered
+        self._dropped0 = transport.messages_dropped
+        transport._shard_capture = self._capture
+
+    # ------------------------------------------------------------------
+    def _capture(self, deliver_time: float, dst_address: int, msg) -> bool:
+        dst_shard = self.owner[dst_address]
+        if dst_shard == self.shard_index:
+            return False
+        self._outbox.append((deliver_time, dst_shard, dst_address, msg))
+        return True
+
+    def compact(self) -> int:
+        """Replace non-owned peers with stubs; returns how many.
+
+        Stubs keep exactly what the sender-side delay model reads
+        (host, liveness, capacity) and crash on ``receive`` -- non-owned
+        peers never execute handlers once the capture hook is in.  The
+        heavy per-peer state (databases, children sets, seen-query
+        dicts, fingers) becomes garbage, which is what lets a shard of
+        a million-peer cell run in a fraction of the full footprint.
+        """
+        peers = self.system.peers
+        actors = self.system.transport._actors
+        me = self.shard_index
+        owner = self.owner
+        replaced = 0
+        for addr, peer in list(peers.items()):
+            if owner[addr] == me:
+                continue
+            stub = PeerStub(addr, peer.host, peer.alive, peer.capacity, peer.role)
+            peers[addr] = stub
+            if addr in actors:
+                actors[addr] = stub
+            replaced += 1
+        return replaced
+
+    # ------------------------------------------------------------------
+    # Coordinator requests
+    # ------------------------------------------------------------------
+    def issue(self, time: float, lo: int, hi: int, fold_before: float) -> dict:
+        """Start this shard's lookups of wave ``pairs[lo:hi]`` at ``time``."""
+        self.registry.fold(fold_before)
+        self.engine.pin_clock(time)
+        owner = self.owner
+        me = self.shard_index
+        peers = self.system.peers
+        pairs = self.pairs
+        for i in range(lo, hi):
+            origin, key = pairs[i]
+            if owner[origin] != me:
+                continue
+            peer = peers[origin]
+            if peer.alive:
+                peer.lookup(key)
+        return self._state()
+
+    def window(self, w_end: float, inbox: Sequence[tuple]) -> dict:
+        """Schedule inbound deliveries, run strictly below ``w_end``."""
+        if inbox:
+            deliver = self.system.transport._deliver
+            self.engine.schedule_batch(
+                (time, deliver, (dst, msg)) for time, dst, msg in inbox
+            )
+        self.engine.run_before(w_end)
+        return self._state()
+
+    def finish(self, cut_time: float) -> dict:
+        """Trim metric overrun past ``cut_time``; export merge inputs."""
+        registry = self.registry
+        registry.trim(cut_time)
+        transport = self.system.transport
+        transport._shard_capture = None
+        try:
+            import resource
+            peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        except Exception:  # pragma: no cover - non-POSIX
+            peak_rss_kb = 0
+        return {
+            "records": registry.export_records(),
+            "contacts": list(registry._contacts),
+            "duplicates": list(registry._duplicates),
+            "foreign_contacts": dict(registry.foreign_contacts),
+            "foreign_duplicates": dict(registry.foreign_duplicates),
+            "events": self.engine.events_executed - self._events0,
+            "messages_sent": transport.messages_sent - self._sent0,
+            "messages_delivered": transport.messages_delivered - self._delivered0,
+            "messages_dropped": transport.messages_dropped - self._dropped0,
+            "peak_rss_kb": peak_rss_kb,
+        }
+
+    def _state(self) -> dict:
+        outbox = self._outbox
+        self._outbox = []
+        return {
+            "next_time": self.engine.next_event_time(),
+            "unresolved": self.registry.unresolved,
+            "max_end": self.registry.max_end,
+            "outbox": outbox,
+        }
+
+    # ------------------------------------------------------------------
+    def handle(self, request: tuple) -> tuple:
+        """Dispatch one coordinator request; returns ("ok", payload)."""
+        op = request[0]
+        if op == "issue":
+            return ("ok", self.issue(*request[1:]))
+        if op == "window":
+            return ("ok", self.window(*request[1:]))
+        if op == "finish":
+            return ("ok", self.finish(*request[1:]))
+        raise ValueError(f"unknown shard request {op!r}")
+
+
+def serve(conn, worker: ShardWorker) -> None:
+    """Answer coordinator requests over a pipe until ``("stop",)``.
+
+    Runs in the forked worker process.  Exceptions are reported back as
+    ``("error", traceback_text)`` so the coordinator can re-raise with
+    the worker's stack instead of hanging on a dead pipe.  With
+    ``REPRO_PROFILE=1`` the whole serve loop is profiled under the
+    ``-shard<N>`` tag (one profile per worker process).
+    """
+    with maybe_profile(tag=f"-shard{worker.shard_index}"):
+        while True:
+            request = conn.recv()
+            if request[0] == "stop":
+                return
+            try:
+                conn.send(worker.handle(request))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+                return

@@ -92,11 +92,15 @@ class Event:
     def cancel(self) -> None:
         """Prevent the event from firing.
 
-        Idempotent; cancelling an event that already fired is a no-op.
+        Idempotent, and a true no-op on an event that already fired
+        (including from inside its own callback): the handle keeps its
+        "fired" state -- ``cancelled`` stays False -- instead of
+        retroactively claiming the callback never ran.
         """
-        if not self.cancelled and self.fn is not None:
-            # Still pending: it no longer counts as live.
-            self._engine._live -= 1
+        if self.cancelled or self.fn is None:
+            return
+        # Still pending: it no longer counts as live.
+        self._engine._live -= 1
         self.cancelled = True
         # Drop references early so cancelled events pin no memory while
         # they wait to be popped off the heap.
@@ -401,6 +405,87 @@ class Engine:
                 fn(*entry[3])
         self._now = max(self._now, deadline)
         return executed
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or ``None`` if idle.
+
+        Cancelled handles at the head of the heap are lazily discarded
+        on the way, so the answer reflects only events that will
+        actually fire.  This is the "null message" a shard reports to
+        the conservative-sync coordinator (see :mod:`repro.shard`).
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2] is None and entry[3].cancelled:
+                heappop(heap)
+                continue
+            return entry[0]
+        return None
+
+    def run_before(self, deadline: float, max_events: int = 50_000_000) -> int:
+        """Run events with ``time < deadline`` (strictly).
+
+        Unlike :meth:`run_until`, the clock is left at the last executed
+        event rather than advanced to the deadline.  This is the window
+        primitive of the sharded executor: a shard that negotiated a
+        lower-bound timestamp may execute everything strictly below it,
+        but its clock must stay free for the coordinator to align at the
+        barrier (:meth:`pin_clock`).
+        """
+        heap = self._heap
+        pop = heappop
+        executed = 0
+        # Deferred _live/_events_executed accounting, as in run_while.
+        try:
+            while heap:
+                entry = heap[0]
+                fn = entry[2]
+                if fn is None and entry[3].cancelled:
+                    pop(heap)  # lazily discard; costs no dispatch
+                    continue
+                if entry[0] >= deadline:
+                    break
+                pop(heap)
+                if fn is None:
+                    ev = entry[3]
+                    fn, args, kwargs = ev.fn, ev.args, ev.kwargs
+                    ev.fn = None
+                    self._now = entry[0]
+                    executed += 1
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} in run_before"
+                        )
+                    fn(*args, **kwargs)
+                else:
+                    self._now = entry[0]
+                    executed += 1
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} in run_before"
+                        )
+                    fn(*entry[3])
+        finally:
+            self._live -= executed
+            self._events_executed += executed
+        return executed
+
+    def pin_clock(self, time: float) -> None:
+        """Set the clock to ``time`` without executing anything.
+
+        The sharded executor uses this to align every shard's clock at a
+        synchronization barrier.  Moving *backwards* is allowed -- after
+        :meth:`run_before` the clock sits at the last executed event,
+        which may lie beyond the globally agreed timestamp -- but only
+        while no pending event would end up in the past.
+        """
+        nxt = self.next_event_time()
+        if nxt is not None and nxt < time:
+            raise SimulationError(
+                f"cannot pin clock to t={time}: next pending event at t={nxt}"
+            )
+        self._now = float(time)
 
     def run_while(
         self,

@@ -1,0 +1,196 @@
+"""Sharded execution must be bit-identical to single-process execution.
+
+The whole admissibility argument of :mod:`repro.shard` is the one the
+golden determinism test makes for the engine rewrite: a cell run over
+N worker shards under conservative (null-message) synchronization is
+*the same computation* -- same event order per peer, same floating-point
+arithmetic, same metric bundle -- as the single-process run.  These
+tests compare full :class:`CellResult` values with ``==`` (exact float
+equality) across shard counts, backends, and configurations, and pin
+down the :class:`NullMessageSync` window logic the guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import HybridConfig
+from repro.experiments.common import Scale, run_cell
+from repro.shard import (
+    NullMessageSync,
+    check_shardable,
+    resolve_shards,
+    run_cell_sharded,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_single():
+    """The single-process reference result at Scale.quick()."""
+    return run_cell(HybridConfig(p_s=0.3), Scale.quick())
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_fork_matches_single_process(self, quick_single, shards):
+        sharded = run_cell(
+            HybridConfig(p_s=0.3), Scale.quick(), shards=shards
+        )
+        assert sharded == quick_single
+
+    def test_inline_backend_matches(self, quick_single):
+        sharded = run_cell_sharded(
+            HybridConfig(p_s=0.3), Scale.quick(), shards=2, mode="inline"
+        )
+        assert sharded == quick_single
+
+    def test_crash_cell_matches(self):
+        config = HybridConfig(p_s=0.5)
+        single = run_cell(config, Scale.quick(), crash_fraction=0.3)
+        sharded = run_cell(
+            config, Scale.quick(), crash_fraction=0.3, shards=2
+        )
+        assert sharded == single
+
+    def test_enhancements_cell_matches(self):
+        config = HybridConfig(
+            p_s=0.6, bypass_links=True, cache_enabled=True,
+        )
+        single = run_cell(config, Scale.quick())
+        sharded = run_cell(config, Scale.quick(), shards=3)
+        assert sharded == single
+
+    def test_diagnostics_reported(self, quick_single):
+        info = {}
+        sharded = run_cell_sharded(
+            HybridConfig(p_s=0.3), Scale.quick(), shards=2, info_out=info
+        )
+        assert sharded == quick_single
+        assert info["shards"] == 2
+        assert info["lookahead_ms"] > 0.0
+        assert info["waves"] == -(-Scale.quick().n_lookups // Scale.quick().wave_size)
+        # Every shard owns a non-trivial share of the population.
+        assert len(info["shard_loads"]) == 2
+        assert all(peers > 0 for peers, _items in info["shard_loads"])
+        assert info["events_total"] > info["build_events"]
+
+
+class TestCheckShardable:
+    def test_default_config_accepted(self):
+        check_shardable(HybridConfig(p_s=0.3))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"replication_factor": 2},
+            {"heartbeats_enabled": True},
+            {"search_mode": "walk"},
+            {"snetwork_style": "bittorrent"},
+        ],
+    )
+    def test_unsupported_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            check_shardable(HybridConfig(p_s=0.3, **kwargs))
+
+    def test_run_cell_falls_back_for_unshardable_config(self):
+        # Sweep-wide --shards / REPRO_SHARDS must not break cells the
+        # sharded substrate rejects (e.g. fig5's heartbeat cells):
+        # run_cell silently runs them single-process instead.
+        config = HybridConfig(p_s=0.3, heartbeats_enabled=True)
+        single = run_cell(config, Scale.quick())
+        fallback = run_cell(config, Scale.quick(), shards=2)
+        assert fallback == single
+
+    def test_run_cell_sharded_rejects_early(self):
+        with pytest.raises(ValueError):
+            run_cell_sharded(
+                HybridConfig(p_s=0.3, replication_factor=2),
+                Scale.quick(),
+                shards=2,
+            )
+
+
+class TestResolveShards:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "8")
+        assert resolve_shards(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        assert resolve_shards(None) == 4
+
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards(None) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_shards(0)
+
+
+class TestNullMessageSync:
+    """The conservative-sync floor/window logic, in isolation."""
+
+    def test_floor_is_min_over_shards(self):
+        sync = NullMessageSync(2, lookahead=5.0)
+        sync.note_state(0, 100.0)
+        sync.note_state(1, 40.0)
+        assert sync.floor() == 40.0
+        assert sync.window_end() == 45.0
+
+    def test_idle_shard_does_not_deadlock(self):
+        # A shard with no local events must not drag the floor to
+        # None/infinity: the other shard's clock defines progress.
+        sync = NullMessageSync(2, lookahead=5.0)
+        sync.note_state(0, 100.0)
+        sync.note_state(1, None)
+        assert sync.floor() == 100.0
+        assert sync.window_end() == 105.0
+
+    def test_all_idle_with_no_messages_is_terminal(self):
+        sync = NullMessageSync(2, lookahead=5.0)
+        sync.note_state(0, None)
+        sync.note_state(1, None)
+        assert sync.floor() is None
+        assert sync.window_end() is None
+
+    def test_pending_message_bounds_floor(self):
+        # An in-flight cross-shard message is a future event of its
+        # destination: the floor may not pass its delivery time.
+        sync = NullMessageSync(2, lookahead=5.0)
+        sync.note_state(0, None)
+        sync.note_state(1, None)
+        sync.add_messages(0, [(30.0, 1, 7, object())])
+        assert sync.floor() == 30.0
+        assert sync.window_end() == 35.0
+        assert sync.in_flight == 1
+
+    def test_floor_jumps_over_empty_time(self):
+        # Nothing scheduled between 10 and 5000 (e.g. everyone waiting
+        # on a lookup timeout): the next window must start at 5000, not
+        # crawl there lookahead by lookahead.
+        sync = NullMessageSync(2, lookahead=2.0)
+        sync.note_state(0, 5000.0)
+        sync.note_state(1, 6000.0)
+        assert sync.window_end() == 5002.0
+
+    def test_inbox_sorted_and_drained(self):
+        sync = NullMessageSync(2, lookahead=5.0)
+        m1, m2, m3 = object(), object(), object()
+        sync.add_messages(0, [(20.0, 1, 9, m2), (10.0, 1, 3, m1)])
+        sync.add_messages(1, [(20.0, 0, 5, m3)])
+        inbox = sync.take_inbox(1)
+        assert [t for t, _dst, _m in inbox] == [10.0, 20.0]
+        assert [m for _t, _dst, m in inbox] == [m1, m2]
+        assert sync.take_inbox(1) == []  # drained
+        assert sync.take_inbox(0) == [(20.0, 5, m3)]
+
+    def test_delivery_ties_ordered_by_origin_then_sequence(self):
+        # Equal-timestamp deliveries must replay in one deterministic
+        # order no matter which shard reported first.
+        sync = NullMessageSync(3, lookahead=1.0)
+        a, b, c = object(), object(), object()
+        sync.add_messages(2, [(50.0, 0, 1, c)])
+        sync.add_messages(1, [(50.0, 0, 1, a), (50.0, 0, 2, b)])
+        inbox = sync.take_inbox(0)
+        assert [m for _t, _dst, m in inbox] == [a, b, c]

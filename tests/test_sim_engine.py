@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.sim import Engine, SimulationError
+from repro.sim.timers import PeriodicTimer, Timer
 
 
 class TestScheduling:
@@ -214,3 +215,159 @@ class TestFastTier:
         assert engine.pending_count == 1
         engine.run_until(3.5)
         assert hits == [1.0, 2.5, 3.0]
+
+
+class TestPoppedHandleEdges:
+    """Cancelling an already-popped (fired) handle and scheduling at
+    exactly the current timestamp -- the edges the sharded executor
+    leans on -- must be well-defined."""
+
+    def test_cancel_after_fire_keeps_fired_state(self, engine):
+        hits = []
+        ev = engine.call_at(1.0, hits.append, "x")
+        engine.run()
+        ev.cancel()
+        # The callback ran; the handle must not pretend otherwise.
+        assert hits == ["x"]
+        assert ev.cancelled is False
+        assert not ev.pending
+        assert engine.pending_count == 0
+
+    def test_cancel_own_handle_inside_callback(self, engine):
+        handles = {}
+
+        def fire_and_cancel():
+            handles["ev"].cancel()  # already popped: must be a no-op
+
+        handles["ev"] = engine.call_at(1.0, fire_and_cancel)
+        engine.call_at(2.0, lambda: None)
+        assert engine.run() == 2
+        assert handles["ev"].cancelled is False
+        assert engine.pending_count == 0
+
+    def test_double_cancel_counts_live_once(self, engine):
+        ev = engine.call_at(1.0, lambda: None)
+        engine.call_at(2.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert engine.pending_count == 1
+        assert engine.run() == 1
+        assert engine.pending_count == 0
+
+    def test_schedule_at_exactly_now_runs_this_instant(self, engine):
+        hits = []
+        engine.call_at(3.0, lambda: engine.schedule_at(3.0, hits.append, ("same-t",)))
+        engine.run()
+        assert hits == ["same-t"]
+        assert engine.now == 3.0
+
+    def test_call_at_exactly_now_runs_after_current_events(self, engine):
+        hits = []
+        engine.call_at(3.0, lambda: engine.call_at(3.0, hits.append, "child"))
+        engine.call_at(3.0, hits.append, "sibling")
+        engine.run()
+        assert hits == ["sibling", "child"]
+
+    def test_schedule_batch_at_exactly_now(self, engine):
+        hits = []
+
+        def batch_now():
+            n = engine.schedule_batch(
+                [(engine.now, hits.append, (i,)) for i in range(12)]
+            )
+            assert n == 12
+
+        engine.call_at(5.0, batch_now)
+        engine.run()
+        assert hits == list(range(12))
+        assert engine.now == 5.0
+
+    def test_timer_restart_from_own_expiry(self, engine):
+        ticks = []
+        box = {}
+
+        def expire_and_restart():
+            ticks.append(engine.now)
+            if len(ticks) < 3:
+                box["t"].start()  # re-arm from inside the expiry callback
+
+        box["t"] = Timer(engine, 1.0, expire_and_restart)
+        box["t"].start()
+        engine.run()
+        assert ticks == [1.0, 2.0, 3.0]
+        # The timer is spent; cancel after the fact stays a no-op.
+        box["t"].cancel()
+        assert engine.pending_count == 0
+
+    def test_periodic_timer_stop_inside_tick(self, engine):
+        timer_box = {}
+
+        def tick():
+            if timer_box["t"].ticks == 2:
+                timer_box["t"].stop()
+
+        timer_box["t"] = PeriodicTimer(engine, 1.0, tick)
+        timer_box["t"].start()
+        engine.run()
+        assert timer_box["t"].ticks == 2
+        assert engine.pending_count == 0
+
+
+class TestShardPrimitives:
+    """run_before / next_event_time / pin_clock -- the conservative-sync
+    primitives of repro.shard."""
+
+    def test_run_before_is_strict(self, engine):
+        hits = []
+        for t in (1.0, 2.0, 3.0):
+            engine.call_at(t, hits.append, t)
+        engine.run_before(2.0)
+        assert hits == [1.0]
+        # Clock stays at the last executed event, not the deadline.
+        assert engine.now == 1.0
+        engine.run_before(3.5)
+        assert hits == [1.0, 2.0, 3.0]
+
+    def test_run_before_skips_cancelled_heads(self, engine):
+        hits = []
+        evs = [engine.call_at(float(t), hits.append, t) for t in (1.0, 2.0)]
+        evs[0].cancel()
+        assert engine.run_before(5.0) == 1
+        assert hits == [2.0]
+        assert engine.pending_count == 0
+
+    def test_next_event_time(self, engine):
+        assert engine.next_event_time() is None
+        ev = engine.call_at(4.0, lambda: None)
+        engine.schedule_at(7.0, lambda: None)
+        assert engine.next_event_time() == 4.0
+        ev.cancel()
+        assert engine.next_event_time() == 7.0
+
+    def test_pin_clock_moves_both_ways(self, engine):
+        engine.call_at(10.0, lambda: None)
+        engine.run()
+        engine.pin_clock(4.0)  # rewind: heap is empty
+        assert engine.now == 4.0
+        engine.schedule_at(8.0, lambda: None)
+        engine.pin_clock(6.0)  # forward, still before the pending event
+        assert engine.now == 6.0
+        with pytest.raises(SimulationError):
+            engine.pin_clock(9.0)  # would put the pending event in the past
+
+    def test_pin_clock_ignores_cancelled_events(self, engine):
+        ev = engine.call_at(5.0, lambda: None)
+        ev.cancel()
+        engine.pin_clock(20.0)
+        assert engine.now == 20.0
+        assert engine.next_event_time() is None
+
+    def test_schedule_after_pin_rewind(self, engine):
+        hits = []
+        engine.call_at(10.0, lambda: None)
+        engine.run()
+        engine.pin_clock(2.0)
+        engine.schedule_after(1.0, hits.append, ("post-pin",))
+        engine.run()
+        assert hits == ["post-pin"]
+        assert engine.now == 3.0
