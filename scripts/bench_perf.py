@@ -24,9 +24,18 @@ Sharded runs (``--shards N``, repeatable) execute the same workload on
 the :mod:`repro.shard` substrate and must reproduce the single-process
 ``CellResult`` bit-for-bit -- the bench records aggregate events/s and
 scaling efficiency per shard count next to the single-process figures.
-``--scale large`` runs the first past-the-paper cell (10^5 peers, bulk
-build): no golden to check against, so it records throughput plus peak
-RSS instead.
+``--shard-backend shm`` routes cross-shard traffic over the shared-
+memory ring transport (struct frames) instead of pickled pipes; shm
+entries are keyed ``"<n>-shm"`` and additionally record IPC byte/frame
+counters and per-worker PSS.  ``--scale large`` runs the first
+past-the-paper cell (10^5 peers, bulk build): no golden to check
+against, so it records throughput, peak RSS and the fig4-style data
+distribution instead.  ``--scale huge`` (10^6 peers) is sharded-only:
+a single-process reference run is pointless at that size, so the entry
+notes ``reference: none`` and the determinism evidence is the
+pipe-vs-shm cross-check at the gated scales.  ``--ipc-micro`` times
+the two cross-shard transports head-to-head on a captured-shape
+message mix and writes an ``ipc_micro`` section.
 
 Usage::
 
@@ -35,6 +44,9 @@ Usage::
     PYTHONPATH=src python scripts/bench_perf.py --smoke         # CI
     PYTHONPATH=src python scripts/bench_perf.py --shards 2 --shards 4
     PYTHONPATH=src python scripts/bench_perf.py --scale large --shards 4
+    PYTHONPATH=src python scripts/bench_perf.py --smoke --shards 2 \
+        --shard-backend shm
+    PYTHONPATH=src python scripts/bench_perf.py --ipc-micro
 """
 
 from __future__ import annotations
@@ -81,6 +93,7 @@ SCALES = {
     "quick": Scale.quick,
     "medium": Scale.medium,
     "large": Scale.large,
+    "huge": Scale.huge,
 }
 
 
@@ -91,21 +104,40 @@ def config_for_scale(scale_name: str) -> HybridConfig:
     linear ring forwarding.  Linear forwarding costs O(n_t) ring hops
     per remote lookup -- fine at the paper's 10^3, absurd at 10^5
     (~10^4 hops *each* of 5,000 lookups is pure ring walking), so the
-    large cell uses the paper's own mechanism for scale: Section
-    3.2.1 finger routing, at the s-heavy operating point.
+    large and huge cells use the paper's own mechanism for scale:
+    Section 3.2.1 finger routing, at the s-heavy operating point.
     """
-    if scale_name == "large":
+    if scale_name in ("large", "huge"):
         return HybridConfig(p_s=0.7, ring_routing="finger")
     return HybridConfig(p_s=0.3)
 
 
 def workload_desc(scale_name: str) -> str:
-    if scale_name == "large":
+    if scale_name in ("large", "huge"):
         return (
             "run_cell(HybridConfig(p_s=0.7, ring_routing='finger'), "
-            "Scale.large())"
+            f"Scale.{scale_name}())"
         )
     return f"run_cell(HybridConfig(p_s=0.3), Scale.{scale_name}())"
+
+
+def distribution_summary(peer_state) -> dict:
+    """Fig.-4-style data-distribution summary from CompactPeerState."""
+    import numpy as np
+
+    items = peer_state.data_distribution()
+    arr = np.asarray(items, dtype=np.int64)
+    nonzero = arr[arr > 0]
+    return {
+        "alive_peers": int(arr.size),
+        "total_items": int(arr.sum()),
+        "holders": int(nonzero.size),
+        "mean_items_per_peer": round(float(arr.mean()), 4),
+        "max_items_per_peer": int(arr.max()) if arr.size else 0,
+        "p50_items": float(np.percentile(arr, 50)) if arr.size else 0.0,
+        "p90_items": float(np.percentile(arr, 90)) if arr.size else 0.0,
+        "p99_items": float(np.percentile(arr, 99)) if arr.size else 0.0,
+    }
 
 
 def bench_once(config: HybridConfig, scale: Scale, profile: bool):
@@ -140,40 +172,75 @@ def bench_once(config: HybridConfig, scale: Scale, profile: bool):
     return report, result
 
 
-def bench_sharded(config: HybridConfig, scale: Scale, shards: int):
+def bench_sharded(config: HybridConfig, scale: Scale, shards: int, backend=None):
     """One sharded repeat; returns (wall, CellResult, shard info dict)."""
     import time
 
     info = {}
     t0 = time.perf_counter()
-    result = run_cell(config, scale, system_out=info, shards=shards)
+    result = run_cell(
+        config, scale, system_out=info, shards=shards, shard_backend=backend
+    )
     wall = time.perf_counter() - t0
     return wall, result, info["shard_info"]
 
 
+def _worker_memory(info) -> dict:
+    """Per-worker memory record: VmRSS at finish plus PSS.
+
+    PSS is the honest per-worker figure for forked workers -- build
+    state is copy-on-write-shared with the parent, so plain RSS counts
+    the same pages once per process.
+    """
+    workers = (info.get("memory") or {}).get("workers") or []
+    out = []
+    for mem in workers:
+        if not mem:
+            out.append(None)
+            continue
+        out.append({
+            "vm_rss_kb": mem.get("vm_rss_kb"),
+            "pss_kb": mem.get("pss_kb"),
+            "private_kb": mem.get("private_kb"),
+        })
+    return {
+        "peak_rss_kb": info.get("peak_rss_kb"),
+        "workers_at_finish": out,
+    }
+
+
 def run_sharded_bench(
-    scale_name: str, shard_counts, base_result, base_evps
+    scale_name, shard_counts, base_result, base_evps, backend=None,
+    with_distribution=False,
 ) -> dict:
     """Sharded repeats of the same workload: identity + scaling record.
 
     ``base_result`` is the single-process :class:`CellResult` of this
-    run -- every sharded repeat must equal it exactly.  Efficiency is
-    aggregate events/s relative to ``base_evps`` (the single-process
-    best); on a single-core container this is honestly < 1.
+    run -- every sharded repeat must equal it exactly (pass ``None``
+    only for huge, where no single-process reference exists).
+    Efficiency is aggregate events/s relative to ``base_evps`` (the
+    single-process best); on a single-core container this is honestly
+    < 1.  With ``backend="shm"`` entries are keyed ``"<n>-shm"`` and
+    record the ring transport's byte/frame counters.
     """
     scale = SCALES[scale_name]()
     config = config_for_scale(scale_name)
     entries = {}
     for n in sorted(set(shard_counts)):
-        wall, result, info = bench_sharded(config, scale, n)
-        identical = result == base_result
-        assert identical, (
-            f"shards={n} diverged from the single-process run:\n"
-            f"  sharded: {result}\n  single:  {base_result}"
-        )
+        wall, result, info = bench_sharded(config, scale, n, backend=backend)
+        if base_result is not None:
+            identical = result == base_result
+            assert identical, (
+                f"shards={n} diverged from the single-process run:\n"
+                f"  sharded: {result}\n  single:  {base_result}"
+            )
+        else:
+            identical = None
         evps = info["events_total"] / wall
-        entries[str(n)] = {
+        key = str(n) if info["backend"] in ("pipe", "inline") else f"{n}-{info['backend']}"
+        entries[key] = {
             "mode": info["mode"],
+            "backend": info["backend"],
             "wall_seconds": round(wall, 4),
             "build_wall_seconds": round(info["build_wall_seconds"], 4),
             "lookup_wall_seconds": round(info["lookup_wall_seconds"], 4),
@@ -186,8 +253,17 @@ def run_sharded_bench(
             "lookahead_ms": info["lookahead_ms"],
             "peak_rss_kb": info["peak_rss_kb"],
         }
+        if info["backend"] == "shm":
+            entries[key]["ipc"] = info["ipc"]
+            entries[key]["memory"] = _worker_memory(info)
+        if base_result is None:
+            entries[key]["cell_metrics"] = result.to_dict()
+        if with_distribution:
+            entries[key]["data_distribution"] = distribution_summary(
+                info["peer_state"]
+            )
         print(
-            f"  shards={n} ({info['mode']}): {wall:.4f}s "
+            f"  shards={n} ({info['mode']}/{info['backend']}): {wall:.4f}s "
             f"({evps:,.0f} events/s, identical={identical})"
         )
     return entries
@@ -262,14 +338,273 @@ def run_bench(scale_name: str, repeats: int, check: bool) -> dict:
     return entry
 
 
+def _micro_messages(n: int):
+    """Cross-shard message mix shaped like real lookup-phase traffic.
+
+    Sharded cells exchange lookups travelling the ring, floods into
+    remote s-networks, answers and acks -- the mix below weights them
+    roughly as observed on the quick cell (queries dominate).
+    """
+    from repro.overlay.messages import Ack, DataFound, FloodQuery, LookupRequest
+
+    out = []
+    for i in range(n):
+        k = i % 8
+        if k < 3:
+            msg = LookupRequest(
+                d_id=(i * 2654435761) % (2**32), key=f"key-{i % 997}",
+                origin=1000 + i % 500, query_id=i, ttl=4, attempt=0,
+            )
+        elif k < 6:
+            msg = FloodQuery(
+                d_id=(i * 40503) % (2**32), key=f"key-{i % 997}",
+                origin=1000 + i % 500, query_id=i, ttl=3, attempt=i % 2,
+            )
+        elif k == 6:
+            msg = DataFound(
+                query_id=i, key=f"key-{i % 997}", value=None,
+                holder=2000 + i % 300, holder_pid=(i * 7919) % (2**32),
+                holder_pred_pid=(i * 104729) % (2**32), hops=i % 9,
+            )
+        else:
+            msg = Ack(query_id=i)
+        msg.sender = 3000 + i % 700
+        msg.hop_count = i % 12
+        out.append(msg)
+    return out
+
+
+def run_ipc_micro(n_messages: int = 20_000, batch: int = 64) -> dict:
+    """Head-to-head micro-bench of the two cross-shard transports.
+
+    Both paths move the *same* delivery stream end to end, modelled on
+    what each backend actually does per delivery (see
+    :mod:`repro.shard.ipc`):
+
+    * **struct ring** (shm backend) -- ONE hop: envelope + wire codec
+      v2 struct encode, frame into the destination pair's
+      :class:`SpscRing`, zero-copy read and decode on the far side.
+      The coordinator never touches the message.
+    * **pickled pipe** -- TWO hops through the coordinator relay
+      (worker -> coordinator -> destination worker), each delivery a
+      pickled tuple through an ``os.pipe`` with routing at the relay.
+      This is the transport ROADMAP named as the blocker ("pickled
+      tuples over multiprocessing pipes") and the gate comparator.
+    * **pickled pipe, batched** -- the same relay with one pickle per
+      window batch, which is what PR 9's pipe backend actually does
+      (``Connection.send`` of a whole window reply).  Recorded so the
+      comparison against the strongest pipe configuration is on the
+      table too, not just the per-tuple one.
+
+    Runs in one process with interleaved passes so machine noise hits
+    all paths alike (the satellite requirement: measurable on the
+    1-core container).  Throughput is compared as *payload* bytes per
+    second -- the same logical deliveries valued at the struct wire
+    size for every path -- because the encodings move different wire
+    byte counts for identical traffic; raw wire bytes moved are
+    recorded per path as well.  Gate: struct ring >= 2x pickled pipe.
+    """
+    import os
+    import pickle
+    import struct as pystruct
+    import time
+
+    from repro.shard.ipc import ShardFrameCodec, SpscRing
+
+    msgs = _micro_messages(n_messages)
+    n_shards = 4
+    deliveries = [
+        (1000.0 + i * 0.25, (i * 31) % 512, i, i % n_shards, m)
+        for i, m in enumerate(msgs)
+    ]
+    # Destination-shard map for the relay's routing step (the pipe
+    # coordinator pays this per delivery; the shm path resolves the
+    # ring once per (src, dst) pair instead).
+    owner = {dst: dst % n_shards for _, dst, _, _, _ in deliveries}
+    codec = ShardFrameCodec()
+
+    # --- struct ring: one direct hop -----------------------------------
+    ring = SpscRing.over(1 << 20)
+
+    def ring_pass() -> tuple:
+        t0 = time.perf_counter()
+        decoded = 0
+        for start in range(0, len(deliveries), batch):
+            chunk = deliveries[start:start + batch]
+            for t, dst, seq, origin, m in chunk:
+                kind, payload = codec.encode_delivery(t, dst, seq, origin, m)
+                ring.write(kind, payload)
+            for _ in chunk:
+                kind, view = ring.read()
+                codec.decode_delivery(kind, view)
+                decoded += 1
+        wall = time.perf_counter() - t0
+        assert decoded == len(deliveries)
+        return wall, ring.bytes_written
+
+    # --- pickled pipe: worker -> coordinator -> destination ------------
+    rfd, wfd = os.pipe()
+    rfd2, wfd2 = os.pipe()
+    lenhdr = pystruct.Struct("!I")
+
+    def _send(fd, obj) -> int:
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        os.write(fd, lenhdr.pack(len(blob)) + blob)
+        return lenhdr.size + len(blob)
+
+    def _recv(fd):
+        (length,) = lenhdr.unpack(os.read(fd, lenhdr.size))
+        body = b""
+        while len(body) < length:
+            body += os.read(fd, length - len(body))
+        return pickle.loads(body)
+
+    def pipe_pass() -> tuple:
+        """Per-delivery pickled tuples through the two-hop relay."""
+        t0 = time.perf_counter()
+        moved = 0
+        delivered = 0
+        for start in range(0, len(deliveries), batch):
+            chunk = deliveries[start:start + batch]
+            # hop 1: each outbox entry pickled into the coordinator pipe
+            for item in chunk:
+                moved += _send(wfd, item)
+            inboxes = [[] for _ in range(n_shards)]
+            for _ in chunk:
+                item = _recv(rfd)
+                inboxes[owner[item[1]]].append(item)
+            # hop 2: each routed entry pickled on to its destination
+            for inbox in inboxes:
+                for item in inbox:
+                    moved += _send(wfd2, item)
+                for _ in inbox:
+                    _recv(rfd2)
+                    delivered += 1
+        wall = time.perf_counter() - t0
+        assert delivered == len(deliveries)
+        return wall, moved
+
+    def batched_pass() -> tuple:
+        """One pickle per window batch (PR 9's actual pipe mechanics)."""
+        t0 = time.perf_counter()
+        moved = 0
+        delivered = 0
+        for start in range(0, len(deliveries), batch):
+            chunk = deliveries[start:start + batch]
+            moved += _send(wfd, chunk)
+            arrived = _recv(rfd)
+            inboxes = [[] for _ in range(n_shards)]
+            for item in arrived:
+                inboxes[owner[item[1]]].append(item)
+            for inbox in inboxes:
+                if not inbox:
+                    continue
+                moved += _send(wfd2, inbox)
+                delivered += len(_recv(rfd2))
+        wall = time.perf_counter() - t0
+        assert delivered == len(deliveries)
+        return wall, moved
+
+    # Warm-up, then interleave A/B/C passes and keep the best of each:
+    # the minimum is the pass least disturbed by the machine (same
+    # protocol as the macro bench).
+    ring_pass(); pipe_pass(); batched_pass()
+    ring_walls, pipe_walls, batched_walls = [], [], []
+    ring_bytes = pipe_bytes = batched_bytes = 0
+    for _ in range(3):
+        w, ring_bytes = ring_pass()
+        ring_walls.append(w)
+        w, pipe_bytes = pipe_pass()
+        pipe_walls.append(w)
+        w, batched_bytes = batched_pass()
+        batched_walls.append(w)
+    os.close(rfd)
+    os.close(wfd)
+    os.close(rfd2)
+    os.close(wfd2)
+    ring.close()
+
+    # Encode-only comparison (no transport, no decode).
+    t0 = time.perf_counter()
+    for t, dst, seq, origin, m in deliveries:
+        codec.encode_delivery(t, dst, seq, origin, m)
+    struct_encode_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for item in deliveries:
+        pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+    pickle_encode_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for start in range(0, len(deliveries), batch):
+        pickle.dumps(
+            deliveries[start:start + batch],
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    pickle_batched_encode_s = time.perf_counter() - t0
+
+    n = len(deliveries)
+    ring_wall = min(ring_walls)
+    pipe_wall = min(pipe_walls)
+    batched_wall = min(batched_walls)
+    # The ring byte counter accumulates over warm-up + timed passes.
+    ring_wire = ring_bytes // (len(ring_walls) + 1)
+
+    def path_entry(wall: float, wire: int) -> dict:
+        return {
+            "wall_seconds": round(wall, 4),
+            "deliveries_per_second": round(n / wall),
+            "wire_bytes_moved": wire,
+            "wire_bytes_per_delivery": round(wire / n, 1),
+            # Same logical deliveries on every path, valued at the
+            # struct wire size -- the common denominator that makes
+            # bytes/s comparable across encodings.
+            "payload_bytes_per_second": round(ring_wire / wall),
+        }
+
+    entry = {
+        "protocol": (
+            f"{n_messages} deliveries (lookup-phase mix), windows of "
+            f"{batch}, interleaved passes, best of 3; pipe paths = "
+            "2 pickled hops via the coordinator relay (per-tuple and "
+            "per-batch variants)"
+        ),
+        "struct_ring": {
+            **path_entry(ring_wall, ring_wire),
+            "encode_only_seconds": round(struct_encode_s, 4),
+            "pickled_fallbacks": codec.pickled_fallbacks,
+        },
+        "pickled_pipe": {
+            **path_entry(pipe_wall, pipe_bytes),
+            "encode_only_seconds": round(pickle_encode_s, 4),
+        },
+        "pickled_pipe_batched": {
+            **path_entry(batched_wall, batched_bytes),
+            "encode_only_seconds": round(pickle_batched_encode_s, 4),
+        },
+        "payload_bytes_note": (
+            "all paths carry the same logical deliveries, so throughput "
+            "is compared at a common payload size (the struct wire "
+            "bytes); raw wire bytes differ per encoding and are "
+            "recorded above"
+        ),
+        "throughput_ratio_bytes_per_second": round(
+            pipe_wall / ring_wall, 2
+        ),
+        "throughput_ratio_vs_batched_pipe": round(
+            batched_wall / ring_wall, 2
+        ),
+    }
+    return entry
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--scale",
-        choices=("quick", "medium", "large"),
-        default="medium",
+        choices=("quick", "medium", "large", "huge"),
+        default=None,
         help="workload scale (default: medium, the acceptance gate; "
-        "large = 10^5 peers, bulk build, no golden)",
+        "large = 10^5 peers, bulk build, no golden; huge = 10^6 peers, "
+        "sharded-only)",
     )
     parser.add_argument(
         "--repeats", type=int, default=5, help="timed repeats (default: 5)"
@@ -290,6 +625,19 @@ def main(argv=None) -> int:
         "asserts bit-identity with the single-process result",
     )
     parser.add_argument(
+        "--shard-backend",
+        choices=("pipe", "shm"),
+        default=None,
+        help="cross-shard transport for the sharded repeats "
+        "(default: REPRO_SHARD_BACKEND or pipe)",
+    )
+    parser.add_argument(
+        "--ipc-micro",
+        action="store_true",
+        help="run the transport micro-bench (struct ring vs pickled "
+        "pipe) and record it under 'ipc_micro'",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_substrate.json",
@@ -298,6 +646,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
+    scale_explicit = args.scale is not None
+    if args.scale is None:
+        args.scale = "medium"
 
     if args.smoke:
         args.scale = "quick"
@@ -307,27 +658,72 @@ def main(argv=None) -> int:
     if args.scale == "large" and args.repeats > 2:
         args.repeats = 2  # minutes per repeat; best-of-5 buys little
 
-    print(f"benchmarking {workload_desc(args.scale)} ...")
-    entry = run_bench(args.scale, args.repeats, check=True)
-    base_result = entry.pop("_base_result")
-    base_evps = entry.pop("_best_evps")
-    line = (
-        f"best: {entry['best']['wall_seconds']}s "
-        f"({entry['best']['events_per_second']:,} events/s)"
-    )
-    if "baseline_pre_pr" in entry:
-        line += (
-            f"; pre-PR baseline: "
-            f"{entry['baseline_pre_pr']['events_per_second']:,} events/s; "
-            f"speedup: {entry['speedup_events_per_second']}x"
+    if args.ipc_micro:
+        print("ipc micro-bench (struct ring vs pickled pipe) ...")
+        micro = run_ipc_micro()
+        print(
+            f"  struct ring: "
+            f"{micro['struct_ring']['deliveries_per_second']:,} deliveries/s "
+            f"({micro['struct_ring']['wire_bytes_per_delivery']} wire B each); "
+            f"pickled pipe: "
+            f"{micro['pickled_pipe']['deliveries_per_second']:,} deliveries/s "
+            f"({micro['pickled_pipe']['wire_bytes_per_delivery']} wire B each); "
+            f"ratio {micro['throughput_ratio_bytes_per_second']}x payload bytes/s"
         )
-    print(line)
+        if not args.smoke:
+            existing = {}
+            if args.output.exists():
+                existing = json.loads(args.output.read_text())
+            existing["ipc_micro"] = micro
+            args.output.write_text(json.dumps(existing, indent=2) + "\n")
+            print(f"wrote {args.output}")
+        if not scale_explicit and not args.shards and not args.smoke:
+            return 0  # --ipc-micro alone: skip the macro bench
 
-    if args.shards:
-        print(f"sharded repeats (identity gate vs single-process) ...")
-        entry["sharded"] = run_sharded_bench(
-            args.scale, args.shards, base_result, base_evps
+    if args.scale == "huge":
+        # 10^6 peers: a single-process reference run has nothing to
+        # teach (the whole point is that one heap can't hold it
+        # comfortably) and would double a multi-hour bench, so huge is
+        # sharded-only.  Determinism evidence at this scale is the
+        # pipe-vs-shm cross-check the gated scales run on every CI pass.
+        shard_counts = args.shards or [2]
+        print(f"benchmarking {workload_desc(args.scale)} (sharded only) ...")
+        entry = {
+            "scale": args.scale,
+            "workload": workload_desc(args.scale),
+            "protocol": "single sharded run (hours per repeat)",
+            "reference": "none (sharded only; no single-process golden at 10^6)",
+            "sharded": run_sharded_bench(
+                args.scale, shard_counts, None, None,
+                backend=args.shard_backend, with_distribution=True,
+            ),
+        }
+    else:
+        print(f"benchmarking {workload_desc(args.scale)} ...")
+        entry = run_bench(args.scale, args.repeats, check=True)
+        base_result = entry.pop("_base_result")
+        base_evps = entry.pop("_best_evps")
+        if args.scale == "large":
+            entry["cell_metrics"] = base_result.to_dict()
+        line = (
+            f"best: {entry['best']['wall_seconds']}s "
+            f"({entry['best']['events_per_second']:,} events/s)"
         )
+        if "baseline_pre_pr" in entry:
+            line += (
+                f"; pre-PR baseline: "
+                f"{entry['baseline_pre_pr']['events_per_second']:,} events/s; "
+                f"speedup: {entry['speedup_events_per_second']}x"
+            )
+        print(line)
+
+        if args.shards:
+            print(f"sharded repeats (identity gate vs single-process) ...")
+            entry["sharded"] = run_sharded_bench(
+                args.scale, args.shards, base_result, base_evps,
+                backend=args.shard_backend,
+                with_distribution=(args.scale == "large"),
+            )
 
     if not args.smoke:
         existing = {}
@@ -335,6 +731,11 @@ def main(argv=None) -> int:
             existing = json.loads(args.output.read_text())
         existing.setdefault("bench", "substrate throughput, Fig.-3-style workload")
         existing.setdefault("scales", {})
+        if args.scale in existing["scales"] and "sharded" in entry:
+            # Sharded entries accumulate across backends (keys "2" /
+            # "2-shm" coexist); everything else is overwritten.
+            prior = existing["scales"][args.scale].get("sharded", {})
+            entry["sharded"] = {**prior, **entry["sharded"]}
         existing["scales"][args.scale] = entry
         args.output.write_text(json.dumps(existing, indent=2) + "\n")
         print(f"wrote {args.output}")

@@ -19,12 +19,17 @@ between experiments (Fig. 5a and Table 2 overlap on 18) run once.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
 
 from repro.exec import CellCache, CellExecutor
-from repro.shard import resolve_shards
+from repro.shard import (
+    SHARDS_STRICT_ENV,
+    resolve_shard_backend,
+    resolve_shards,
+)
 from repro.experiments import (
     Scale,
     fig3_analysis,
@@ -54,17 +59,33 @@ def main() -> None:
         help="worker shards per cell (default: REPRO_SHARDS or 1); "
         "bit-identical to unsharded execution",
     )
+    parser.add_argument(
+        "--shard-backend", choices=("pipe", "shm"), default=None,
+        help="cross-shard transport (default: REPRO_SHARD_BACKEND or "
+        "pipe); shm = struct-encoded shared-memory rings",
+    )
+    parser.add_argument(
+        "--shards-strict", action="store_true", default=None,
+        help="fail instead of silently running a cell single-process "
+        "when its config is not shardable (also: REPRO_SHARDS_STRICT=1)",
+    )
     args = parser.parse_args()
 
     args.outdir.mkdir(parents=True, exist_ok=True)
     scale = {"quick": Scale.quick, "medium": Scale.medium, "paper": Scale.paper}[
         args.scale
     ]()
+    if args.shards_strict:
+        os.environ[SHARDS_STRICT_ENV] = "1"
     executor = CellExecutor(
         jobs=args.jobs,
         cache=None if args.no_cache else CellCache(),
         progress=sys.stderr.isatty(),
         shards=resolve_shards(args.shards),
+        shard_backend=(
+            resolve_shard_backend(args.shard_backend)
+            if args.shard_backend else None
+        ),
     )
     jobs = [
         ("fig3", lambda: fig3_analysis.main(points=11)),

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Tuple
 
@@ -247,17 +248,41 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         help="worker shards per cell (default: REPRO_SHARDS or 1); the "
         "sharded run is bit-identical to the single-process run",
     )
+    parser.add_argument(
+        "--shard-backend",
+        choices=("pipe", "shm"),
+        default=None,
+        help="cross-shard transport (default: REPRO_SHARD_BACKEND or "
+        "pipe); shm = struct-encoded shared-memory rings",
+    )
+    parser.add_argument(
+        "--shards-strict",
+        action="store_true",
+        default=None,
+        help="fail instead of silently running a cell single-process "
+        "when its config is not shardable (also: REPRO_SHARDS_STRICT=1)",
+    )
 
 
 def _make_executor(args: argparse.Namespace):
     from .exec import CellCache, CellExecutor
-    from .shard import resolve_shards
+    from .shard import (
+        SHARDS_STRICT_ENV,
+        resolve_shard_backend,
+        resolve_shards,
+    )
 
+    if getattr(args, "shards_strict", None):
+        # Propagated via the environment so pool worker processes --
+        # where run_cell's fallback decision happens -- inherit it.
+        os.environ[SHARDS_STRICT_ENV] = "1"
+    backend = getattr(args, "shard_backend", None)
     return CellExecutor(
         jobs=args.jobs,
         cache=None if args.no_cache else CellCache(),
         progress=sys.stderr.isatty(),
         shards=resolve_shards(getattr(args, "shards", None)),
+        shard_backend=resolve_shard_backend(backend) if backend else None,
     )
 
 

@@ -11,6 +11,7 @@ one cell of a sweep and returns the standard metric bundle.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Any, Dict, Optional, Sequence
 
@@ -128,6 +129,8 @@ def run_cell(
     settle_after_crash: float = 30_000.0,
     system_out: Optional[Dict[str, HybridSystem]] = None,
     shards: int = 1,
+    shard_backend: Optional[str] = None,
+    shards_strict: Optional[bool] = None,
 ) -> CellResult:
     """Build + populate + (crash) + look up; return the metric bundle.
 
@@ -136,24 +139,40 @@ def run_cell(
     With ``shards > 1`` the cell executes on the sharded substrate
     (:mod:`repro.shard`) -- bit-identical metrics, workers in parallel;
     ``system_out`` then receives the shard diagnostics under
-    ``"shard_info"`` instead of a system object.
+    ``"shard_info"`` instead of a system object.  ``shard_backend``
+    picks the cross-shard transport (pipe/shm); ``shards_strict``
+    (or ``REPRO_SHARDS_STRICT``) turns the silent single-process
+    fallback for unshardable configs into a raised ValueError.
     """
     if shards > 1:
-        from ..shard import check_shardable, run_cell_sharded
+        from ..shard import (
+            check_shardable,
+            resolve_shards_strict,
+            run_cell_sharded,
+        )
 
         try:
             check_shardable(config)
-        except ValueError:
+        except ValueError as exc:
             # Sweep-wide shard settings (--shards / REPRO_SHARDS) must not
             # break cells the sharded substrate cannot host (heartbeats,
             # replication, walks): fall back to the single-process path,
-            # which is bit-identical anyway.
+            # which is bit-identical anyway.  The fallback is loud --
+            # the warning names the offending config fields -- and
+            # strict mode forbids it outright.
+            if resolve_shards_strict(shards_strict):
+                raise
+            logging.getLogger("repro.shard").warning(
+                "cell is not shardable (%s); falling back to "
+                "single-process execution", exc,
+            )
             shards = 1
         else:
             info: Dict[str, object] = {}
             result = run_cell_sharded(
                 config, scale, crash_fraction, settle_after_crash,
                 shards=shards,
+                backend=shard_backend,
                 info_out=info if system_out is not None else None,
             )
             if system_out is not None:

@@ -37,6 +37,9 @@ __all__ = [
     "measure",
     "maybe_profile",
     "profiling_enabled",
+    "rss_kb",
+    "memory_info",
+    "PhaseSampler",
 ]
 
 #: Set this environment variable to ``1`` to wrap :func:`maybe_profile`
@@ -127,6 +130,83 @@ def measure(
             }
             if count_types and not counting0:
                 transport.disable_type_counts()
+
+
+# ----------------------------------------------------------------------
+# Memory sampling
+# ----------------------------------------------------------------------
+def rss_kb() -> int:
+    """Current resident set size (VmRSS) in kB; 0 where unsupported.
+
+    Sampled, not peak: ``ru_maxrss`` is useless for forked shard
+    workers -- they inherit the parent's copy-on-write peak -- while a
+    VmRSS sample taken after compaction reflects what the worker
+    actually keeps resident.
+    """
+    try:
+        with open("/proc/self/status", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def memory_info() -> Dict[str, int]:
+    """Resident/proportional/private footprint of this process, in kB.
+
+    ``pss_kb`` (proportional set size) is the honest per-process figure
+    when several forked workers share copy-on-write pages with their
+    parent: each shared page is charged ``1/n``-th to each mapper,
+    so worker PSS values sum to the physical truth instead of counting
+    the shared image once per worker the way VmRSS does.  All zeros
+    where ``/proc`` is unavailable.
+    """
+    info = {"vm_rss_kb": rss_kb(), "pss_kb": 0, "private_kb": 0, "shared_kb": 0}
+    try:
+        with open("/proc/self/smaps_rollup", "rb") as fh:
+            for line in fh:
+                key, _, rest = line.partition(b":")
+                if key == b"Pss":
+                    info["pss_kb"] = int(rest.split()[0])
+                elif key in (b"Private_Clean", b"Private_Dirty"):
+                    info["private_kb"] += int(rest.split()[0])
+                elif key in (b"Shared_Clean", b"Shared_Dirty"):
+                    info["shared_kb"] += int(rest.split()[0])
+    except OSError:
+        pass
+    return info
+
+
+class PhaseSampler:
+    """Per-phase wall/RSS/IPC trace of one run.
+
+    ``mark(name)`` closes the phase that just ran: it records the wall
+    seconds since the previous mark and a fresh memory sample, plus any
+    caller-supplied counters (e.g. ``ipc_bytes``).  Drivers attach the
+    resulting list to their diagnostics so a memory regression can be
+    pinned to build/fork/lookup/merge instead of a run-wide peak.
+    """
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+        self.phases: list = []
+
+    def mark(self, name: str, **extra: object) -> Dict[str, object]:
+        now = time.perf_counter()
+        sample: Dict[str, object] = {
+            "phase": name,
+            "wall_seconds": now - self._t0,
+            "vm_rss_kb": rss_kb(),
+        }
+        sample.update(extra)
+        self._t0 = now
+        self.phases.append(sample)
+        return sample
+
+    def as_list(self) -> list:
+        return list(self.phases)
 
 
 def profiling_enabled() -> bool:

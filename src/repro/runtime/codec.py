@@ -191,12 +191,17 @@ def _reviver_for(hint: Any) -> Optional[Callable[[Any], Any]]:
 # v2 packer compiler
 # ----------------------------------------------------------------------
 # A compiled plan is a list of steps executed in field order:
-#   (_FIXED, struct.Struct, attrgetter, n_fields) -- a run of
-#       consecutive fixed-width scalars packed/unpacked in one call;
+#   (_FIXED, struct.Struct, attrgetter, n_fields, field_names) -- a run
+#       of consecutive fixed-width scalars packed/unpacked in one call;
 #   (_VAR, pack_fn, unpack_fn, field_name) -- one variable-size field.
 # pack_fn(value, out_bytearray) appends bytes; unpack_fn(buf, pos)
 # returns (value, new_pos) and must bounds-check (memoryview slicing
 # silently truncates, so every reader goes through _take).
+# The plan is both executable as-is (_encode_v2/_decode_v2 interpret
+# it) and the source for the per-class *generated* encode/decode
+# functions (_compile_fast), which unroll the step loop into straight-
+# line code -- the interpreted path stays as the reference and the
+# fallback for classes the generator declines (__post_init__, frozen).
 
 _FIXED = 0
 _VAR = 1
@@ -410,6 +415,7 @@ def _compile_plan(
                     struct.Struct("!" + "".join(run_fmt)),
                     attrgetter(*run_names),
                     len(run_names),
+                    tuple(run_names),
                 )
             )
             run_fmt.clear()
@@ -431,6 +437,87 @@ def _compile_plan(
     return steps
 
 
+def _compile_fast(cls: type, plan: List[tuple], head_v2: bytes):
+    """Generate straight-line encode/decode functions from a plan.
+
+    Returns ``(fast_encode, fast_decode)`` or ``(None, None)`` when the
+    class needs the interpreted path (``__post_init__`` hooks or frozen
+    classes, whose construction the decoder cannot bypass).  The
+    generated code does exactly what the plan interpreter does -- same
+    byte layout, same exceptions -- minus the per-field dispatch: fixed
+    runs become one bound ``pack``/``unpack_from`` call, the decoder
+    builds the instance via ``object.__new__`` and assigns every field
+    (including ``init=False`` ones) directly.
+    """
+    if hasattr(cls, "__post_init__") or cls.__dataclass_params__.frozen:
+        return None, None
+    ns: Dict[str, Any] = {
+        "_CodecError": CodecError,
+        "_serr": struct.error,
+        "_new": object.__new__,
+        "_cls": cls,
+        "_head": head_v2,
+        "_len": len,
+    }
+    enc_terms: List[str] = []  # expressions appended to the output
+    dec_parse: List[str] = []  # statements that parse the buffer
+    dec_fields: List[Tuple[str, str]] = []  # (field, local) assignments
+    for si, step in enumerate(plan):
+        if step[0] == _FIXED:
+            ns[f"p{si}"] = step[1].pack
+            ns[f"u{si}"] = step[1].unpack_from
+            locals_ = [f"f{si}_{i}" for i in range(step[3])]
+            attrs = ", ".join(f"msg.{n}" for n in step[4])
+            enc_terms.append(f"p{si}({attrs})")
+            target = ", ".join(locals_) + ("," if step[3] == 1 else "")
+            dec_parse.append(f"{target} = u{si}(buf, pos)")
+            dec_parse.append(f"pos += {step[1].size}")
+            dec_fields.extend(zip(step[4], locals_))
+        else:
+            ns[f"vp{si}"] = step[1]
+            ns[f"vu{si}"] = step[2]
+            enc_terms.append((f"vp{si}(msg.{step[3]}, out)", True))
+            dec_parse.append(f"f{si}, pos = vu{si}(buf, pos)")
+            dec_fields.append((step[3], f"f{si}"))
+
+    # Encode: all-fixed plans collapse to one concatenation; plans with
+    # variable fields accumulate into a bytearray like the interpreter.
+    if all(isinstance(t, str) for t in enc_terms):
+        body = " + ".join(["_head"] + enc_terms) if enc_terms else "_head"
+        enc_src = f"def _enc(msg):\n    return {body}\n"
+    else:
+        lines = ["def _enc(msg):", "    out = bytearray(_head)"]
+        for term in enc_terms:
+            if isinstance(term, str):
+                lines.append(f"    out += {term}")
+            else:
+                lines.append(f"    {term[0]}")
+        lines.append("    return bytes(out)")
+        enc_src = "\n".join(lines) + "\n"
+
+    dec_lines = [
+        "def _dec(buf):",
+        "    try:",
+        f"        pos = {_HEAD.size}",
+    ]
+    dec_lines += [f"        {stmt}" for stmt in dec_parse]
+    dec_lines += [
+        "    except _serr as exc:",
+        f"        raise _CodecError("
+        f"f'truncated {cls.__name__} body: {{exc}}') from exc",
+        "    if pos != _len(buf):",
+        f"        raise _CodecError(f'{{_len(buf) - pos}} trailing bytes "
+        f"after {cls.__name__}')",
+        "    msg = _new(_cls)",
+    ]
+    dec_lines += [f"    msg.{name} = {local}" for name, local in dec_fields]
+    dec_lines.append("    return msg")
+    dec_src = "\n".join(dec_lines) + "\n"
+
+    exec(enc_src + dec_src, ns)  # noqa: S102 - fixed template, no user input
+    return ns["_enc"], ns["_dec"]
+
+
 class _Entry:
     """Per-class codec entry: field order, v1 revivers, v2 packer plan."""
 
@@ -444,6 +531,8 @@ class _Entry:
         "plan",
         "head_v1",
         "head_v2",
+        "fast_encode",
+        "fast_decode",
     )
 
     def __init__(self, cls: type, type_id: int) -> None:
@@ -468,6 +557,12 @@ class _Entry:
         self.plan = _compile_plan(self.names, hints)
         self.head_v1 = _HEAD.pack(WIRE_V1, type_id)
         self.head_v2 = _HEAD.pack(WIRE_V2, type_id)
+        if self.plan is not None:
+            self.fast_encode, self.fast_decode = _compile_fast(
+                cls, self.plan, self.head_v2
+            )
+        else:
+            self.fast_encode = self.fast_decode = None
 
 
 class MessageCodec:
@@ -568,6 +663,8 @@ class MessageCodec:
         v = self.version if version is None else version
         if v == WIRE_V2 and entry.plan is not None:
             try:
+                if entry.fast_encode is not None:
+                    return entry.fast_encode(msg)
                 return self._encode_v2(entry, msg)
             except CodecError:
                 raise
@@ -640,6 +737,8 @@ class MessageCodec:
         if entry is None:
             raise CodecError(f"unknown message type id {type_id}")
         if version == WIRE_V2:
+            if entry.fast_decode is not None:
+                return entry.fast_decode(payload)
             values = self._decode_v2(entry, payload)
         else:
             values = self._decode_v1(entry, payload)

@@ -31,23 +31,50 @@ across shard workers:
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
 import os
+import pickle
 import time as _time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import SEARCH_WALK, SNETWORK_BITTORRENT, HybridConfig
 from ..core.hybrid import HybridSystem
 from ..core.lookup import PENDING, QueryRecord, QueryRegistry
+from ..perf import PhaseSampler, memory_info
 from ..workloads.keys import KeyWorkload
+from .ipc import (
+    CTRL_RING_BYTES,
+    K_BLOB,
+    K_BLOBC,
+    K_CTRL,
+    K_ERR,
+    K_MSG,
+    K_PMSG,
+    K_STATE,
+    RingClosed,
+    ShardFrameCodec,
+    SpscRing,
+    WorkerEndpoint,
+    decode_state,
+    encode_finish,
+    encode_issue,
+    encode_stop,
+    encode_window,
+    resolve_data_ring_bytes,
+)
 from .partition import partition_snetworks, shard_loads
 from .state import SHARD_ID_BITS, CompactPeerState, ShardQueryRegistry
 from .sync import NullMessageSync, ShardSyncError
-from .worker import ShardWorker, serve
+from .worker import ShardWorker, serve, serve_shm
 
 __all__ = [
     "SHARDS_ENV",
+    "SHARD_BACKEND_ENV",
+    "SHARDS_STRICT_ENV",
     "resolve_shards",
+    "resolve_shard_backend",
+    "resolve_shards_strict",
     "check_shardable",
     "run_cell_sharded",
     "merge_registries",
@@ -55,6 +82,15 @@ __all__ = [
 
 #: Default shard count for drivers that take ``--shards`` (0/unset = 1).
 SHARDS_ENV = "REPRO_SHARDS"
+
+#: Cross-shard transport of the fork backend: "pipe" (pickled tuples
+#: over multiprocessing pipes) or "shm" (struct-encoded frames in
+#: shared-memory rings, :mod:`repro.shard.ipc`).
+SHARD_BACKEND_ENV = "REPRO_SHARD_BACKEND"
+
+#: When truthy, an unshardable cell raises instead of silently falling
+#: back to single-process execution (see ``run_cell``).
+SHARDS_STRICT_ENV = "REPRO_SHARDS_STRICT"
 
 
 def resolve_shards(value: Optional[int] = None) -> int:
@@ -66,6 +102,23 @@ def resolve_shards(value: Optional[int] = None) -> int:
     if value < 1:
         raise ValueError(f"shard count must be >= 1, got {value}")
     return value
+
+
+def resolve_shard_backend(value: Optional[str] = None) -> str:
+    """Backend from an explicit value or REPRO_SHARD_BACKEND (default pipe)."""
+    if value is None:
+        value = os.environ.get(SHARD_BACKEND_ENV, "").strip() or "pipe"
+    if value not in ("pipe", "shm"):
+        raise ValueError(f"unknown shard backend {value!r} (pipe|shm)")
+    return value
+
+
+def resolve_shards_strict(value: Optional[bool] = None) -> bool:
+    """Strict-mode flag from an explicit value or REPRO_SHARDS_STRICT."""
+    if value is not None:
+        return bool(value)
+    raw = os.environ.get(SHARDS_STRICT_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "no")
 
 
 def check_shardable(config: HybridConfig) -> None:
@@ -163,20 +216,45 @@ class _InlineHandle(_Handle):
         self._reply = None
 
 
+def _worker_failure(shard: int, detail: str) -> Exception:
+    """A shard worker failed or died: raise with the shard named."""
+    from ..exec.pool import CellExecutionError
+
+    return CellExecutionError(f"shard {shard}", detail)
+
+
 class _ForkHandle(_Handle):
     """A forked worker process behind a pipe."""
 
-    def __init__(self, conn, process) -> None:
+    def __init__(self, conn, process, shard: int) -> None:
         self._conn = conn
         self._process = process
+        self._shard = shard
+
+    def _dead(self) -> Exception:
+        code = self._process.exitcode
+        return _worker_failure(
+            self._shard, f"worker process died (exit code {code})"
+        )
 
     def send(self, request: tuple) -> None:
-        self._conn.send(request)
+        try:
+            self._conn.send(request)
+        except (BrokenPipeError, OSError):
+            raise self._dead() from None
 
     def recv(self) -> dict:
-        status, payload = self._conn.recv()
+        # Poll instead of a bare blocking recv: a worker killed
+        # mid-window must surface as a named failure, not a hang.
+        while not self._conn.poll(0.2):
+            if not self._process.is_alive() and not self._conn.poll(0):
+                raise self._dead()
+        try:
+            status, payload = self._conn.recv()
+        except (EOFError, OSError):
+            raise self._dead() from None
         if status != "ok":
-            raise RuntimeError(f"shard worker failed:\n{payload}")
+            raise _worker_failure(self._shard, payload)
         return payload
 
     def stop(self) -> None:
@@ -194,11 +272,196 @@ class _ForkHandle(_Handle):
 def _serve_forked(conn, system, shard_index, n_shards, owner, pairs) -> None:
     """Entry point of a forked worker (inherits the built system)."""
     worker = ShardWorker(system, shard_index, n_shards, owner, pairs)
-    worker.compact()
+    worker.compact(retain=True)
     try:
         serve(conn, worker)
     finally:
         conn.close()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory backend
+# ----------------------------------------------------------------------
+class _ShmHub:
+    """Coordinator-side state of the shm transport.
+
+    Owns every ring: one control pair per worker plus the ``i -> j``
+    data-ring matrix the workers exchange messages through.  Also
+    buffers spilled frames (data ring full) and the per-destination
+    counts of ring frames each worker is owed at its next window --
+    draining by exact count is what keeps window contents deterministic
+    while producers keep writing next-round frames concurrently.
+    """
+
+    def __init__(self, shards: int, owner: Dict[int, int]) -> None:
+        self.shards = shards
+        self.owner = owner
+        data_bytes = resolve_data_ring_bytes()
+        self.c2w = [SpscRing.create(CTRL_RING_BYTES) for _ in range(shards)]
+        self.w2c = [SpscRing.create(CTRL_RING_BYTES) for _ in range(shards)]
+        self.data: Dict[Tuple[int, int], SpscRing] = {
+            (i, j): SpscRing.create(data_bytes)
+            for i in range(shards)
+            for j in range(shards)
+            if i != j
+        }
+        # Spilled frames awaiting forwarding, per destination shard.
+        self.spill: List[List[Tuple[int, bytes]]] = [[] for _ in range(shards)]
+        # owed[dst][origin]: data-ring frames dst must drain at its
+        # next window, accumulated from origin's state replies.
+        self.owed: List[List[int]] = [[0] * shards for _ in range(shards)]
+        self.spilled_frames = 0
+
+    def endpoint(self, shard: int, peer_alive) -> WorkerEndpoint:
+        """The worker-side view of shard ``shard`` (used post-fork)."""
+        return WorkerEndpoint(
+            shard,
+            self.shards,
+            ctrl_in=self.c2w[shard],
+            ctrl_out=self.w2c[shard],
+            rings_in={
+                i: self.data[(i, shard)]
+                for i in range(self.shards) if i != shard
+            },
+            rings_out={
+                j: self.data[(shard, j)]
+                for j in range(self.shards) if j != shard
+            },
+            peer_alive=peer_alive,
+        )
+
+    def ipc_totals(self, worker_counters: Sequence[Optional[dict]]) -> dict:
+        totals = {
+            "backend": "shm",
+            "data_bytes": 0,
+            "data_frames": 0,
+            "ctrl_bytes": 0,
+            "spilled_frames": self.spilled_frames,
+            "pickled_fallbacks": 0,
+        }
+        for c in worker_counters:
+            if not c:
+                continue
+            totals["data_bytes"] += c["data_bytes_out"]
+            totals["data_frames"] += c["data_frames_out"]
+            totals["ctrl_bytes"] += c["ctrl_bytes_out"] + c["ctrl_bytes_in"]
+            totals["pickled_fallbacks"] += c["pickled_fallbacks"]
+        return totals
+
+    def close(self) -> None:
+        for ring in (*self.c2w, *self.w2c, *self.data.values()):
+            try:
+                ring.close()
+                ring.unlink()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+
+
+class _ShmHandle(_Handle):
+    """A forked worker behind the shared-memory rings."""
+
+    def __init__(self, hub: _ShmHub, shard: int, process) -> None:
+        self._hub = hub
+        self._shard = shard
+        self._process = process
+        self._alive = process.is_alive
+
+    def _dead(self, cause: Exception) -> Exception:
+        code = self._process.exitcode
+        return _worker_failure(
+            self._shard,
+            f"worker process died (exit code {code}): {cause}",
+        )
+
+    def send(self, request: tuple) -> None:
+        hub = self._hub
+        ring = hub.c2w[self._shard]
+        op = request[0]
+        try:
+            if op == "issue":
+                ring.write(K_CTRL, encode_issue(*request[1:]), self._alive)
+            elif op == "window":
+                # The inbox argument is pipe-mode only; here the spill
+                # buffer and owed counts replace it (and are reset --
+                # the worker drains everything at this window).
+                spills = hub.spill[self._shard]
+                hub.spill[self._shard] = []
+                owed = hub.owed[self._shard]
+                hub.owed[self._shard] = [0] * hub.shards
+                ring.write(
+                    K_CTRL,
+                    encode_window(request[1], len(spills), owed),
+                    self._alive,
+                )
+                for kind, frame in spills:
+                    ring.write(kind, frame, self._alive)
+            elif op == "finish":
+                ring.write(K_CTRL, encode_finish(request[1]), self._alive)
+            else:
+                raise ValueError(f"unknown shard request {op!r}")
+        except RingClosed as exc:
+            raise self._dead(exc) from None
+
+    def recv(self) -> dict:
+        hub = self._hub
+        ring = hub.w2c[self._shard]
+        blob_parts: List[bytes] = []
+        try:
+            while True:
+                kind, view = ring.read(peer_alive=self._alive)
+                if kind in (K_MSG, K_PMSG):
+                    # A spilled delivery: buffer for the destination's
+                    # next window.  Its count/min-time already ride in
+                    # the state summary, so only routing happens here.
+                    dst = hub.owner[ShardFrameCodec.peek_destination(view)]
+                    hub.spill[dst].append((kind, bytes(view)))
+                    hub.spilled_frames += 1
+                elif kind == K_STATE:
+                    next_time, unresolved, max_end, summaries = decode_state(view)
+                    for dst, (ring_frames, _total, _min_t) in enumerate(summaries):
+                        hub.owed[dst][self._shard] += ring_frames
+                    return {
+                        "next_time": next_time,
+                        "unresolved": unresolved,
+                        "max_end": max_end,
+                        "outbox": [],
+                        "summaries": summaries,
+                    }
+                elif kind == K_BLOBC:
+                    blob_parts.append(bytes(view))
+                elif kind == K_BLOB:
+                    blob_parts.append(bytes(view))
+                    return pickle.loads(b"".join(blob_parts))
+                elif kind == K_ERR:
+                    raise _worker_failure(self._shard, bytes(view).decode())
+                else:
+                    raise RuntimeError(
+                        f"unexpected frame kind {kind} from shard {self._shard}"
+                    )
+        except RingClosed as exc:
+            raise self._dead(exc) from None
+
+    def stop(self) -> None:
+        try:
+            self._hub.c2w[self._shard].write(
+                K_CTRL, encode_stop(), self._alive, timeout=5.0
+            )
+        except Exception:
+            pass
+        self._hub.c2w[self._shard].close_producer()
+        self._process.join(timeout=30)
+        if self._process.is_alive():  # pragma: no cover - hung worker
+            self._process.terminate()
+            self._process.join(timeout=5)
+
+
+def _serve_forked_shm(hub, system, shard_index, n_shards, owner, pairs) -> None:
+    """Entry point of a forked worker on the shm backend."""
+    parent = os.getppid()
+    endpoint = hub.endpoint(shard_index, peer_alive=lambda: os.getppid() == parent)
+    worker = ShardWorker(system, shard_index, n_shards, owner, pairs)
+    worker.compact(retain=True)
+    serve_shm(endpoint, worker)
 
 
 # ----------------------------------------------------------------------
@@ -216,6 +479,21 @@ def _coordinate(
     ``cut_time`` is the global resolution timestamp of the last wave --
     exactly where the single-process run's clock stops.
     """
+    def absorb(shard: int, reply: dict) -> None:
+        """Fold one state reply into the sync bookkeeping.
+
+        Pipe/inline replies carry the captured messages themselves;
+        shm replies carry per-destination (count, min time) summaries
+        while the bodies sit in the data rings.
+        """
+        sync.note_state(shard, reply["next_time"])
+        summaries = reply.get("summaries")
+        if summaries is None:
+            sync.add_messages(shard, reply["outbox"])
+        else:
+            for dst, (_ring_frames, total, min_time) in enumerate(summaries):
+                sync.add_summary(dst, total, min_time)
+
     n_shards = len(handles)
     wave_time = start_time
     fold_time = float("-inf")
@@ -229,8 +507,7 @@ def _coordinate(
             handle.send(("issue", wave_time, lo, hi, fold_time))
         for shard, handle in enumerate(handles):
             reply = handle.recv()
-            sync.note_state(shard, reply["next_time"])
-            sync.add_messages(shard, reply["outbox"])
+            absorb(shard, reply)
             unresolved += reply["unresolved"]
             if reply["max_end"] > global_max_end:
                 global_max_end = reply["max_end"]
@@ -246,8 +523,7 @@ def _coordinate(
             unresolved = 0
             for shard, handle in enumerate(handles):
                 reply = handle.recv()
-                sync.note_state(shard, reply["next_time"])
-                sync.add_messages(shard, reply["outbox"])
+                absorb(shard, reply)
                 unresolved += reply["unresolved"]
                 if reply["max_end"] > global_max_end:
                     global_max_end = reply["max_end"]
@@ -323,15 +599,21 @@ def run_cell_sharded(
     settle_after_crash: float = 30_000.0,
     shards: int = 2,
     mode: Optional[str] = None,
+    backend: Optional[str] = None,
     info_out: Optional[dict] = None,
 ):
     """Run one sweep cell across ``shards`` workers; returns CellResult.
 
-    ``mode`` selects the backend: "fork" (build once, fork workers --
-    the default where the platform supports it), "inline" (logical
-    shards in-process, each building its own replica; slower, used for
-    tests and as the portable fallback).  ``info_out`` receives shard
-    diagnostics (loads, window rounds, event/message totals, peak RSS).
+    ``mode`` selects the worker substrate: "fork" (build once, fork
+    workers -- the default where the platform supports it), "inline"
+    (logical shards in-process, each building its own replica; slower,
+    used for tests and as the portable fallback).  ``backend`` selects
+    the fork-mode transport: "pipe" (pickled tuples over
+    multiprocessing pipes) or "shm" (struct-encoded frames in
+    shared-memory rings); defaults to ``REPRO_SHARD_BACKEND`` or
+    "pipe", and is ignored inline.  ``info_out`` receives shard
+    diagnostics (loads, window rounds, event/message totals, per-phase
+    memory samples, IPC byte counts).
     """
     from ..experiments.common import CellResult
 
@@ -339,6 +621,7 @@ def run_cell_sharded(
     if shards < 1:
         raise ValueError("shards must be >= 1")
     check_shardable(config)
+    backend = resolve_shard_backend(backend)
     if mode is None:
         # Daemonic processes (e.g. some pool workers) cannot fork
         # children; the inline backend is the universal fallback.
@@ -350,11 +633,13 @@ def run_cell_sharded(
     if mode not in ("fork", "inline"):
         raise ValueError(f"unknown shard mode {mode!r}")
 
+    sampler = PhaseSampler()
     build_t0 = _time.perf_counter()
     system, pairs = _build_phases(
         config, scale, crash_fraction, settle_after_crash
     )
     build_wall = _time.perf_counter() - build_t0
+    sampler.mark("build")
 
     compact = CompactPeerState(system)
     owner = partition_snetworks(compact, shards, system.server.address)
@@ -364,23 +649,45 @@ def run_cell_sharded(
     )
     start_time = system.engine.now
     build_events = system.engine.events_executed
+    sampler.mark("partition")
 
     lookup_t0 = _time.perf_counter()
     handles: List[_Handle] = []
+    hub: Optional[_ShmHub] = None
+    frozen = False
     try:
         if mode == "fork":
             ctx = multiprocessing.get_context("fork")
+            if backend == "shm":
+                hub = _ShmHub(shards, owner)
+            # Move every live object to the permanent generation before
+            # forking: collector passes in the children would otherwise
+            # touch gc headers across the whole inherited heap and
+            # privatise the copy-on-write pages it lives in.
+            gc.collect()
+            gc.freeze()
+            frozen = True
             for shard in range(shards):
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_serve_forked,
-                    args=(child_conn, system, shard, shards, owner, pairs),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                handles.append(_ForkHandle(parent_conn, process))
+                if hub is not None:
+                    process = ctx.Process(
+                        target=_serve_forked_shm,
+                        args=(hub, system, shard, shards, owner, pairs),
+                        daemon=True,
+                    )
+                    process.start()
+                    handles.append(_ShmHandle(hub, shard, process))
+                else:
+                    parent_conn, child_conn = ctx.Pipe()
+                    process = ctx.Process(
+                        target=_serve_forked,
+                        args=(child_conn, system, shard, shards, owner, pairs),
+                        daemon=True,
+                    )
+                    process.start()
+                    child_conn.close()
+                    handles.append(_ForkHandle(parent_conn, process, shard))
         else:
+            backend = "inline"
             for shard in range(shards):
                 if shard == 0:
                     replica = system
@@ -391,6 +698,7 @@ def run_cell_sharded(
                 worker = ShardWorker(replica, shard, shards, owner, pairs)
                 worker.compact()
                 handles.append(_InlineHandle(worker))
+        sampler.mark("workers_up")
 
         sync = NullMessageSync(shards, lookahead)
         cut_time, waves, rounds = _coordinate(
@@ -404,10 +712,24 @@ def run_cell_sharded(
     finally:
         for handle in handles:
             handle.stop()
+        if frozen:
+            gc.unfreeze()
+        if hub is not None:
+            hub.close()
     lookup_wall = _time.perf_counter() - lookup_t0
+    ipc = (
+        hub.ipc_totals([r.get("ipc") for r in results])
+        if hub is not None
+        else {"backend": backend}
+    )
+    sampler.mark(
+        "lookup",
+        ipc_bytes=ipc.get("data_bytes", 0) + ipc.get("ctrl_bytes", 0),
+    )
 
     merged = merge_registries(results, pairs, owner)
     stats = merged.stats()
+    sampler.mark("merge")
     if info_out is not None:
         try:
             import resource
@@ -417,6 +739,7 @@ def run_cell_sharded(
         info_out.update({
             "shards": shards,
             "mode": mode,
+            "backend": backend,
             "lookahead_ms": lookahead,
             "waves": waves,
             "window_rounds": rounds,
@@ -433,6 +756,12 @@ def run_cell_sharded(
                 "parent": parent_rss_kb,
                 "workers": [r["peak_rss_kb"] for r in results],
             },
+            "memory": {
+                "parent": memory_info(),
+                "parent_phases": sampler.as_list(),
+                "workers": [r.get("mem") for r in results],
+            },
+            "ipc": ipc,
             "registry": merged,
             "peer_state": compact,
         })

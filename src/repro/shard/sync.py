@@ -54,6 +54,12 @@ class NullMessageSync:
         # Undelivered cross-shard messages, per destination shard:
         # (deliver_time, origin_shard, origin_order, dst_address, msg).
         self._pending: List[List[tuple]] = [[] for _ in range(n_shards)]
+        # Summary-mode pending (shm backend): the messages themselves
+        # sit in per-pair data rings, the coordinator only tracks
+        # (count, min delivery time) batches per destination shard.
+        self._summaries: List[List[Tuple[int, float]]] = [
+            [] for _ in range(n_shards)
+        ]
         self._order = 0
 
     # ------------------------------------------------------------------
@@ -76,6 +82,20 @@ class NullMessageSync:
             )
             self._order += 1
 
+    def add_summary(
+        self, dst_shard: int, count: int, min_time: float
+    ) -> None:
+        """Account for in-flight messages the coordinator never holds.
+
+        The shm backend moves message bodies worker-to-worker through
+        shared-memory rings; each worker's state reply carries only a
+        per-destination (count, min delivery time) summary.  The floor
+        over batch minima equals the floor over the messages themselves
+        (min-of-mins), so the LBTS safety argument is unchanged.
+        """
+        if count > 0:
+            self._summaries[dst_shard].append((int(count), float(min_time)))
+
     # ------------------------------------------------------------------
     def floor(self) -> Optional[float]:
         """Earliest possible next action across all shards, or None."""
@@ -87,6 +107,10 @@ class NullMessageSync:
             for entry in box:
                 if lo is None or entry[0] < lo:
                     lo = entry[0]
+        for batches in self._summaries:
+            for _count, min_time in batches:
+                if lo is None or min_time < lo:
+                    lo = min_time
         return lo
 
     def window_end(self) -> Optional[float]:
@@ -107,6 +131,7 @@ class NullMessageSync:
         worker schedules them in this order, so equal-time deliveries
         tie-break identically on every run.
         """
+        self._summaries[shard] = []
         box = self._pending[shard]
         if not box:
             return []
@@ -117,4 +142,6 @@ class NullMessageSync:
     @property
     def in_flight(self) -> int:
         """Number of captured, not yet delivered cross-shard messages."""
-        return sum(len(box) for box in self._pending)
+        return sum(len(box) for box in self._pending) + sum(
+            count for batches in self._summaries for count, _t in batches
+        )

@@ -23,13 +23,31 @@ it over a multiprocessing pipe, the inline backend calls
 
 from __future__ import annotations
 
+import gc
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..perf import maybe_profile
+from ..perf import maybe_profile, memory_info, rss_kb
+from .ipc import RingClosed, WorkerEndpoint
 from .state import PeerStub
 
-__all__ = ["ShardWorker", "serve"]
+__all__ = ["ShardWorker", "serve", "serve_shm", "release_freed_memory"]
+
+
+def release_freed_memory() -> None:
+    """Hand freed build-phase state back to the OS, best effort.
+
+    ``gc.collect`` breaks the cycles the stub swap left behind;
+    ``malloc_trim`` makes glibc return the emptied arenas, so the
+    sampled VmRSS actually drops instead of sitting in free lists.
+    """
+    gc.collect()
+    try:
+        import ctypes
+
+        ctypes.CDLL("libc.so.6").malloc_trim(0)
+    except Exception:  # pragma: no cover - non-glibc platforms
+        pass
 
 
 class ShardWorker:
@@ -54,6 +72,11 @@ class ShardWorker:
         # Captured cross-shard deliveries since the last reply:
         # (deliver_time, dst_shard, dst_address, msg).
         self._outbox: List[tuple] = []
+        # Retired peer objects kept alive under compact(retain=True)
+        # to preserve copy-on-write sharing with the fork parent.
+        self._retired: List[object] = []
+        # Per-phase VmRSS samples, exported with the finish payload.
+        self._mem_phases: List[dict] = []
         # Counter baselines: construction-phase work is replicated in
         # every worker, so only lookup-phase deltas are reported.
         transport = system.transport
@@ -71,29 +94,59 @@ class ShardWorker:
         self._outbox.append((deliver_time, dst_shard, dst_address, msg))
         return True
 
-    def compact(self) -> int:
+    def compact(self, retain: bool = False) -> int:
         """Replace non-owned peers with stubs; returns how many.
 
         Stubs keep exactly what the sender-side delay model reads
         (host, liveness, capacity) and crash on ``receive`` -- non-owned
-        peers never execute handlers once the capture hook is in.  The
-        heavy per-peer state (databases, children sets, seen-query
-        dicts, fingers) becomes garbage, which is what lets a shard of
-        a million-peer cell run in a fraction of the full footprint.
+        peers never execute handlers once the capture hook is in.
+
+        ``retain`` selects the memory policy:
+
+        * ``retain=False`` (inline backend, and any worker that owns
+          its replica outright): the stubbed peers' protocol state
+          (databases, children sets, seen-query dicts, fingers) becomes
+          garbage and is eagerly returned to the OS, together with the
+          transport's build-phase delay/row memos -- a shard of a
+          million-peer cell then runs in a fraction of the build
+          footprint.
+        * ``retain=True`` (forked workers): the retired peer objects
+          are *kept referenced*.  A forked worker shares the built
+          system with its parent copy-on-write; freeing 1-1/N of it
+          would write every refcount, privatising the very pages the
+          fork shared and growing physical memory by the amount
+          "freed".  Retaining keeps those pages clean and shared, so
+          N workers cost ~one system, not N.
         """
         peers = self.system.peers
-        actors = self.system.transport._actors
+        transport = self.system.transport
+        actors = transport._actors
         me = self.shard_index
         owner = self.owner
+        retired: List[object] = []
         replaced = 0
         for addr, peer in list(peers.items()):
             if owner[addr] == me:
                 continue
             stub = PeerStub(addr, peer.host, peer.alive, peer.capacity, peer.role)
+            if retain:
+                retired.append(peer)
             peers[addr] = stub
             if addr in actors:
                 actors[addr] = stub
             replaced += 1
+        if retain:
+            self._retired = retired
+        else:
+            # Build-phase memos rebuild lazily (and deterministically:
+            # pure functions of topology) for owned senders only.
+            transport._delay_cache.clear()
+            transport._rows.clear()
+            transport._cap_cache.clear()
+            release_freed_memory()
+        self._mem_phases.append(
+            {"phase": "compact", "vm_rss_kb": rss_kb(), "retained": retain}
+        )
         return replaced
 
     # ------------------------------------------------------------------
@@ -137,7 +190,13 @@ class ShardWorker:
             peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         except Exception:  # pragma: no cover - non-POSIX
             peak_rss_kb = 0
+        mem = memory_info()
+        self._mem_phases.append(
+            {"phase": "finish", "vm_rss_kb": mem["vm_rss_kb"]}
+        )
+        mem["phases"] = self._mem_phases
         return {
+            "mem": mem,
             "records": registry.export_records(),
             "contacts": list(registry._contacts),
             "duplicates": list(registry._duplicates),
@@ -192,3 +251,47 @@ def serve(conn, worker: ShardWorker) -> None:
             except Exception:
                 conn.send(("error", traceback.format_exc()))
                 return
+
+
+def serve_shm(endpoint: WorkerEndpoint, worker: ShardWorker) -> None:
+    """Answer coordinator requests over shared-memory rings.
+
+    The shm twin of :func:`serve`.  Requests arrive as struct-packed
+    control frames; ``window`` inboxes are drained straight out of the
+    per-pair data rings (zero-copy decode, exact frame counts -- see
+    :meth:`~repro.shard.ipc.WorkerEndpoint.drain_inbox`); the outbox of
+    every reply is distributed to the outbound data rings before the
+    state frame is published.  Worker errors travel back as ``K_ERR``
+    frames; a vanished coordinator surfaces as :class:`RingClosed` and
+    ends the loop (the worker is an orphan at that point).
+    """
+    with maybe_profile(tag=f"-shard{worker.shard_index}"):
+        try:
+            while True:
+                try:
+                    request = endpoint.recv_request()
+                except RingClosed:  # pragma: no cover - coordinator died
+                    return
+                op = request[0]
+                if op == "stop":
+                    return
+                try:
+                    if op == "issue":
+                        endpoint.send_state(worker.issue(*request[1:]))
+                    elif op == "window":
+                        _, w_end, owed, spills = request
+                        inbox = endpoint.drain_inbox(owed, spills)
+                        endpoint.send_state(worker.window(w_end, inbox))
+                    elif op == "finish":
+                        payload = worker.finish(request[1])
+                        payload["ipc"] = endpoint.counters()
+                        endpoint.send_blob(payload)
+                    else:
+                        raise ValueError(f"unknown shard request {op!r}")
+                except RingClosed:  # pragma: no cover - coordinator died
+                    return
+                except Exception:
+                    endpoint.send_error(traceback.format_exc())
+                    return
+        finally:
+            endpoint.close()

@@ -12,16 +12,22 @@ down the :class:`NullMessageSync` window logic the guarantee rests on.
 
 from __future__ import annotations
 
+import logging
+import os
+
 import pytest
 
 from repro.core.hybrid import HybridConfig
+from repro.exec.pool import CellExecutionError
 from repro.experiments.common import Scale, run_cell
 from repro.shard import (
     NullMessageSync,
+    ShardWorker,
     check_shardable,
     resolve_shards,
     run_cell_sharded,
 )
+from repro.shard.ipc import RING_BYTES_ENV
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +65,54 @@ class TestBitIdentity:
         single = run_cell(config, Scale.quick())
         sharded = run_cell(config, Scale.quick(), shards=3)
         assert sharded == single
+
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_shm_backend_matches_single_process(self, quick_single, shards):
+        info = {}
+        sharded = run_cell_sharded(
+            HybridConfig(p_s=0.3), Scale.quick(), shards=shards,
+            backend="shm", info_out=info,
+        )
+        assert sharded == quick_single
+        # In fork mode the transport really was the shm rings; inline
+        # (fork-less platforms) is still bit-identical, just not shm.
+        if info["mode"] == "fork":
+            assert info["backend"] == "shm"
+            assert info["ipc"]["data_frames"] > 0
+            assert info["ipc"]["pickled_fallbacks"] == 0
+
+    def test_shm_crash_cell_matches(self):
+        config = HybridConfig(p_s=0.5)
+        single = run_cell(config, Scale.quick(), crash_fraction=0.3)
+        sharded = run_cell_sharded(
+            config, Scale.quick(), crash_fraction=0.3, shards=2,
+            backend="shm",
+        )
+        assert sharded == single
+
+    def test_shm_enhancements_cell_matches(self):
+        config = HybridConfig(
+            p_s=0.6, bypass_links=True, cache_enabled=True,
+        )
+        single = run_cell(config, Scale.quick())
+        sharded = run_cell_sharded(
+            config, Scale.quick(), shards=3, backend="shm"
+        )
+        assert sharded == single
+
+    def test_shm_spill_path_matches(self, quick_single, monkeypatch):
+        # Shrink the data rings until windows overflow into the control
+        # path: the spilled frames must reorder into the exact same
+        # (time, origin, seq) delivery schedule.
+        monkeypatch.setenv(RING_BYTES_ENV, "512")
+        info = {}
+        sharded = run_cell_sharded(
+            HybridConfig(p_s=0.3), Scale.quick(), shards=2,
+            backend="shm", info_out=info,
+        )
+        assert sharded == quick_single
+        if info["mode"] == "fork":
+            assert info["ipc"]["spilled_frames"] > 0
 
     def test_diagnostics_reported(self, quick_single):
         info = {}
@@ -107,6 +161,59 @@ class TestCheckShardable:
                 HybridConfig(p_s=0.3, replication_factor=2),
                 Scale.quick(),
                 shards=2,
+            )
+
+    def test_fallback_warning_names_offending_fields(self, caplog):
+        config = HybridConfig(p_s=0.3, heartbeats_enabled=True)
+        with caplog.at_level(logging.WARNING, logger="repro.shard"):
+            run_cell(config, Scale.quick(), shards=2)
+        assert any(
+            "heartbeats_enabled" in r.getMessage()
+            and "falling back" in r.getMessage()
+            for r in caplog.records
+        )
+
+    def test_strict_flag_forbids_fallback(self):
+        config = HybridConfig(p_s=0.3, heartbeats_enabled=True)
+        with pytest.raises(ValueError, match="heartbeats_enabled"):
+            run_cell(config, Scale.quick(), shards=2, shards_strict=True)
+
+    def test_strict_env_forbids_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS_STRICT", "1")
+        config = HybridConfig(p_s=0.3, search_mode="walk")
+        with pytest.raises(ValueError, match="walk"):
+            run_cell(config, Scale.quick(), shards=2)
+
+    def test_explicit_false_overrides_strict_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS_STRICT", "1")
+        config = HybridConfig(p_s=0.3, heartbeats_enabled=True)
+        single = run_cell(config, Scale.quick())
+        assert run_cell(
+            config, Scale.quick(), shards=2, shards_strict=False
+        ) == single
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+class TestWorkerDeath:
+    """A dying shard process must fail the cell loudly, naming the shard."""
+
+    @pytest.fixture(autouse=True)
+    def _kill_shard_one(self, monkeypatch):
+        original = ShardWorker.issue
+
+        def dying_issue(self, *args, **kwargs):
+            if self.shard_index == 1:
+                os._exit(42)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(ShardWorker, "issue", dying_issue)
+
+    @pytest.mark.parametrize("backend", ["pipe", "shm"])
+    def test_dead_worker_raises_with_shard_named(self, backend):
+        with pytest.raises(CellExecutionError, match="shard 1"):
+            run_cell_sharded(
+                HybridConfig(p_s=0.3), Scale.quick(), shards=2,
+                mode="fork", backend=backend,
             )
 
 
